@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: Griffin with each mechanism individually disabled, across
+ * all ten workloads. Shows which of DFTM / DPC+CPMS / ACUD carries
+ * each workload's speedup.
+ *
+ * Configurations:
+ *   full      all four mechanisms (the default)
+ *   -DFTM     plain first-touch migration on the CPU fault path
+ *   -interGPU no periodic classification or inter-GPU migration
+ *   -ACUD     inter-GPU migration uses full pipeline flushes
+ *   batchOnly fault batching alone (no DFTM, no inter-GPU migration)
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::Options::parse(argc, argv);
+
+    std::cout << "=== Ablation: Griffin components (speedup over "
+                 "baseline) ===\n\n";
+
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(sys::SystemConfig &);
+    };
+    const Variant variants[] = {
+        {"full", [](sys::SystemConfig &) {}},
+        {"-DFTM",
+         [](sys::SystemConfig &c) { c.griffin.enableDftm = false; }},
+        {"-interGPU",
+         [](sys::SystemConfig &c) {
+             c.griffin.enableInterGpuMigration = false;
+         }},
+        {"-ACUD",
+         [](sys::SystemConfig &c) { c.griffin.useAcud = false; }},
+        {"batchOnly",
+         [](sys::SystemConfig &c) {
+             c.griffin.enableDftm = false;
+             c.griffin.enableInterGpuMigration = false;
+         }},
+    };
+
+    std::vector<std::string> header{"Benchmark"};
+    for (const auto &v : variants)
+        header.push_back(v.name);
+    sys::Table table(header);
+
+    std::vector<std::vector<double>> columns(std::size(variants));
+
+    for (const auto &name : opt.workloads) {
+        const double base = double(
+            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
+                .cycles);
+
+        std::vector<std::string> cells{name};
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
+            variants[v].apply(cfg);
+            const auto r = bench::runWorkload(name, cfg, opt);
+            const double s = base / double(r.cycles);
+            columns[v].push_back(s);
+            cells.push_back(sys::Table::num(s));
+        }
+        table.addRow(std::move(cells));
+    }
+
+    std::vector<std::string> geo{"geomean"};
+    for (const auto &col : columns)
+        geo.push_back(sys::Table::num(sys::geomean(col)));
+    table.addRow(std::move(geo));
+
+    bench::emit(table, opt);
+    return 0;
+}

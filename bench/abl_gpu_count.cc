@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension bench: GPU-count scaling (the paper's motivation is that
+ * multi-GPU systems keep growing — DGX-2 has 16). Runs the baseline
+ * and Griffin on 2, 4 and 8 GPUs and reports Griffin's speedup: the
+ * NUMA penalty grows with GPU count (more remote traffic per GPU),
+ * and so should Griffin's advantage on locality-friendly workloads.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.workloads.size() == 10)
+        opt.workloads = {"SC", "KM", "ST", "MT"};
+
+    std::cout << "=== Extension: scaling the GPU count ===\n\n";
+
+    std::vector<std::string> header{"GPUs"};
+    for (const auto &name : opt.workloads) {
+        header.push_back(name + " spd");
+        header.push_back(name + " loc%");
+    }
+    sys::Table table(header);
+
+    for (const unsigned gpus : {2u, 4u, 8u}) {
+        std::vector<std::string> cells{std::to_string(gpus)};
+        for (const auto &name : opt.workloads) {
+            sys::SystemConfig base_cfg = sys::SystemConfig::baseline();
+            base_cfg.numGpus = gpus;
+            sys::SystemConfig grif_cfg =
+                sys::SystemConfig::griffinDefault();
+            grif_cfg.numGpus = gpus;
+
+            const auto base = bench::runWorkload(name, base_cfg, opt);
+            const auto grif = bench::runWorkload(name, grif_cfg, opt);
+            cells.push_back(sys::Table::num(double(base.cycles) /
+                                            double(grif.cycles)));
+            cells.push_back(
+                sys::Table::num(100 * grif.localFraction(), 0));
+        }
+        table.addRow(std::move(cells));
+    }
+
+    bench::emit(table, opt);
+    std::cout << "(loc% = Griffin's local-access share; the fair share "
+                 "per GPU shrinks as 1/N)\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: CPMS fault batch size N_PTW (paper Table I: 8 — the
+ * number of IOMMU page table walkers). Sweeps the batch size and
+ * reports speedup over the baseline; 1 reduces CPMS's CPU-GPU half to
+ * the baseline's FCFS discipline.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.workloads.size() == 10)
+        opt.workloads = {"MT", "FIR", "SC", "BFS"};
+
+    const unsigned sizes[] = {1, 2, 4, 8, 16, 32};
+
+    std::cout << "=== Ablation: CPMS fault batch size (N_PTW) ===\n\n";
+
+    std::vector<std::string> header{"N_PTW"};
+    for (const auto &name : opt.workloads)
+        header.push_back(name);
+    header.push_back("geomean");
+    sys::Table table(header);
+
+    std::vector<double> baselines;
+    for (const auto &name : opt.workloads) {
+        baselines.push_back(double(
+            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
+                .cycles));
+    }
+
+    for (const unsigned n : sizes) {
+        sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.nPtw = n;
+
+        std::vector<std::string> cells{std::to_string(n)};
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+            const auto r = bench::runWorkload(opt.workloads[i], cfg, opt);
+            const double s = baselines[i] / double(r.cycles);
+            speedups.push_back(s);
+            cells.push_back(sys::Table::num(s));
+        }
+        cells.push_back(sys::Table::num(sys::geomean(speedups)));
+        table.addRow(std::move(cells));
+    }
+
+    bench::emit(table, opt);
+    return 0;
+}

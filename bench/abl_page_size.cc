@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extension bench (paper SS IV and [22]): page-size sensitivity. The
+ * paper uses 4 KB pages because "large pages cause higher degree of
+ * false sharing as well as page migration overhead"; this sweep
+ * quantifies that on our system for both policies.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.workloads.size() == 10)
+        opt.workloads = {"SC", "MT", "KM"};
+
+    std::cout << "=== Extension: page-size sweep (speedup of Griffin "
+                 "over the 4KB baseline) ===\n\n";
+
+    std::vector<std::string> header{"pageKB", "policy"};
+    for (const auto &name : opt.workloads)
+        header.push_back(name);
+    sys::Table table(header);
+
+    // Reference: the 4 KB baseline of Figure 12.
+    std::vector<double> ref;
+    for (const auto &name : opt.workloads) {
+        ref.push_back(double(bench::runWorkload(
+                                 name, sys::SystemConfig::baseline(), opt)
+                                 .cycles));
+    }
+
+    for (const unsigned shift : {12u, 13u, 14u, 16u}) {
+        for (const bool griffin : {false, true}) {
+            sys::SystemConfig cfg = griffin
+                ? sys::SystemConfig::griffinDefault()
+                : sys::SystemConfig::baseline();
+            cfg.gpu.pageShift = shift;
+
+            std::vector<std::string> cells{
+                std::to_string((1u << shift) / 1024),
+                griffin ? "griffin" : "baseline"};
+            for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+                const auto r =
+                    bench::runWorkload(opt.workloads[i], cfg, opt);
+                cells.push_back(
+                    sys::Table::num(ref[i] / double(r.cycles)));
+            }
+            table.addRow(std::move(cells));
+        }
+    }
+
+    bench::emit(table, opt);
+    return 0;
+}

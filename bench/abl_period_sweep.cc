@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: the access-count collection period T_ac (paper Table I:
+ * 1000 cycles) and the CPMS migration interval. Short periods react
+ * fast but cost messages and drain pressure; long periods starve the
+ * classifier.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.workloads.size() == 10)
+        opt.workloads = {"SC", "ST", "KM"};
+
+    std::cout << "=== Ablation: collection period T_ac and migration "
+                 "interval ===\n\n";
+
+    std::vector<double> baselines;
+    for (const auto &name : opt.workloads) {
+        baselines.push_back(double(
+            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
+                .cycles));
+    }
+
+    std::vector<std::string> header{"T_ac", "migInterval"};
+    for (const auto &name : opt.workloads)
+        header.push_back(name);
+    header.push_back("geomean");
+    sys::Table table(header);
+
+    const Tick periods[] = {500, 1000, 2000, 4000};
+    const unsigned intervals[] = {1, 4, 8, 16};
+
+    for (const Tick t_ac : periods) {
+        for (const unsigned interval : intervals) {
+            sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
+            cfg.griffin.tAc = t_ac;
+            cfg.griffin.migrationInterval = interval;
+
+            std::vector<std::string> cells{std::to_string(t_ac),
+                                           std::to_string(interval)};
+            std::vector<double> speedups;
+            for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+                const auto r =
+                    bench::runWorkload(opt.workloads[i], cfg, opt);
+                const double s = baselines[i] / double(r.cycles);
+                speedups.push_back(s);
+                cells.push_back(sys::Table::num(s));
+            }
+            cells.push_back(sys::Table::num(sys::geomean(speedups)));
+            table.addRow(std::move(cells));
+        }
+    }
+
+    bench::emit(table, opt);
+    return 0;
+}

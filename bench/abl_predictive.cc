@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Extension bench (paper SS VII future work): reactive versus
+ * predictive inter-GPU migration. Predictive mode extrapolates rising
+ * access trends and migrates owner-shifting pages before the
+ * crossover is observed, trading Figure 10's reactive lag for the
+ * risk of acting on noise (visible on the Random workloads).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::Options::parse(argc, argv);
+
+    std::cout << "=== Extension: reactive vs predictive migration ===\n\n";
+
+    sys::Table table({"Benchmark", "Reactive", "Predictive", "P/R",
+                      "Mig(R)", "Mig(P)"});
+    std::vector<double> ratios;
+
+    for (const auto &name : opt.workloads) {
+        const auto base = bench::runWorkload(
+            name, sys::SystemConfig::baseline(), opt);
+
+        const auto reactive = bench::runWorkload(
+            name, sys::SystemConfig::griffinDefault(), opt);
+
+        sys::SystemConfig pcfg = sys::SystemConfig::griffinDefault();
+        pcfg.griffin.enablePredictiveMigration = true;
+        const auto predictive = bench::runWorkload(name, pcfg, opt);
+
+        const double r_spd = double(base.cycles) / double(reactive.cycles);
+        const double p_spd =
+            double(base.cycles) / double(predictive.cycles);
+        ratios.push_back(p_spd / r_spd);
+        table.addRow({name, sys::Table::num(r_spd),
+                      sys::Table::num(p_spd),
+                      sys::Table::num(p_spd / r_spd),
+                      std::to_string(reactive.pagesMigratedInterGpu),
+                      std::to_string(predictive.pagesMigratedInterGpu)});
+    }
+    table.addRow({"geomean", "", "",
+                  sys::Table::num(sys::geomean(ratios)), "", ""});
+
+    bench::emit(table, opt);
+    std::cout << "(P/R > 1: prediction helped; < 1: it chased noise)\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: the DPC classification thresholds lambda_d (dedicated),
+ * lambda_s (shared) and lambda_t (streaming rate floor) of paper
+ * Table I. Reports speedup over baseline plus migration volume, to
+ * show the precision/recall trade-off: loose thresholds migrate
+ * eagerly (and ping-pong on random workloads), tight ones leave
+ * locality on the table.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.workloads.size() == 10)
+        opt.workloads = {"SC", "PR"};
+
+    std::cout << "=== Ablation: DPC thresholds (speedup / migrations) "
+                 "===\n\n";
+
+    std::vector<double> baselines;
+    for (const auto &name : opt.workloads) {
+        baselines.push_back(double(
+            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
+                .cycles));
+    }
+
+    std::vector<std::string> header{"l_d", "l_s", "l_t"};
+    for (const auto &name : opt.workloads) {
+        header.push_back(name + " spd");
+        header.push_back(name + " mig");
+    }
+    sys::Table table(header);
+
+    struct Point
+    {
+        double d, s, t;
+    };
+    const Point points[] = {
+        {1.5, 1.2, 0.001}, {2.0, 1.3, 0.001}, {2.0, 1.3, 0.002},
+        {2.0, 1.3, 0.01},  {2.0, 1.3, 0.03},  {3.0, 1.1, 0.002},
+        {4.0, 1.5, 0.002},
+    };
+
+    for (const auto &pt : points) {
+        sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.lambdaD = pt.d;
+        cfg.griffin.lambdaS = pt.s;
+        cfg.griffin.lambdaT = pt.t;
+
+        std::vector<std::string> cells{sys::Table::num(pt.d, 1),
+                                       sys::Table::num(pt.s, 1),
+                                       sys::Table::num(pt.t, 3)};
+        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+            const auto r = bench::runWorkload(opt.workloads[i], cfg, opt);
+            cells.push_back(
+                sys::Table::num(baselines[i] / double(r.cycles)));
+            cells.push_back(std::to_string(r.pagesMigratedInterGpu));
+        }
+        table.addRow(std::move(cells));
+    }
+
+    bench::emit(table, opt);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared harness for the figure-regeneration benches: flag parsing,
+ * workload runners, and run caching so one binary can print a whole
+ * paper figure.
+ *
+ * Common flags:
+ *   --scale=N   footprint divisor vs the paper (default 16; 1 = paper)
+ *   --seed=N    master seed (default 42)
+ *   --csv       also emit machine-readable CSV after each table
+ *   --workload=X  restrict to one Table III abbreviation
+ */
+
+#ifndef GRIFFIN_BENCH_COMMON_HH
+#define GRIFFIN_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sys/multi_gpu_system.hh"
+#include "src/sys/report.hh"
+#include "src/workloads/workload.hh"
+
+namespace griffin::bench {
+
+/** Parsed command-line options. */
+struct Options
+{
+    unsigned scaleDiv = 32;
+    std::uint64_t seed = 42;
+    bool csv = false;
+    std::vector<std::string> workloads; // empty = all ten
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options opt;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--scale=", 0) == 0) {
+                opt.scaleDiv = unsigned(std::stoul(arg.substr(8)));
+            } else if (arg.rfind("--seed=", 0) == 0) {
+                opt.seed = std::stoull(arg.substr(7));
+            } else if (arg == "--csv") {
+                opt.csv = true;
+            } else if (arg.rfind("--workload=", 0) == 0) {
+                opt.workloads.push_back(arg.substr(11));
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << "flags: --scale=N --seed=N --csv"
+                             " --workload=ABBV (repeatable)\n";
+                std::exit(0);
+            }
+        }
+        if (opt.workloads.empty())
+            opt.workloads = wl::workloadNames();
+        return opt;
+    }
+
+    wl::WorkloadConfig
+    workloadConfig() const
+    {
+        wl::WorkloadConfig cfg;
+        cfg.scaleDiv = scaleDiv;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+/**
+ * Run one workload on one system configuration.
+ */
+inline sys::RunResult
+runWorkload(const std::string &name, const sys::SystemConfig &scfg,
+            const Options &opt)
+{
+    auto workload = wl::makeWorkload(name, opt.workloadConfig());
+    if (!workload) {
+        std::cerr << "unknown workload: " << name << "\n";
+        std::exit(1);
+    }
+    sys::MultiGpuSystem system(scfg);
+    return system.run(*workload);
+}
+
+/** Print a table, optionally followed by CSV. */
+inline void
+emit(const sys::Table &table, const Options &opt)
+{
+    std::cout << table.str() << "\n";
+    if (opt.csv)
+        std::cout << "CSV:\n" << table.csv() << "\n";
+}
+
+} // namespace griffin::bench
+
+#endif // GRIFFIN_BENCH_COMMON_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: the page distribution across the four
+ * GPUs under the baseline (left) and Griffin (right). Griffin's DFTM
+ * should deliver a near-uniform split without runtime re-balancing.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+namespace {
+
+std::vector<std::string>
+shareCells(const sys::RunResult &r)
+{
+    std::uint64_t on_gpus = 0;
+    for (std::size_t dev = 1; dev < r.pagesPerDevice.size(); ++dev)
+        on_gpus += r.pagesPerDevice[dev];
+    std::vector<std::string> cells;
+    for (std::size_t dev = 1; dev < r.pagesPerDevice.size(); ++dev) {
+        cells.push_back(sys::Table::num(
+            on_gpus ? 100.0 * double(r.pagesPerDevice[dev]) /
+                          double(on_gpus)
+                    : 0.0,
+            1));
+    }
+    return cells;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::Options::parse(argc, argv);
+
+    std::cout << "=== Figure 8: occupancy balance, baseline vs Griffin"
+              << " ===\n\n";
+
+    sys::Table table({"Benchmark",
+                      "B:G1%", "B:G2%", "B:G3%", "B:G4%", "B:max",
+                      "G:G1%", "G:G2%", "G:G3%", "G:G4%", "G:max"});
+
+    for (const auto &name : opt.workloads) {
+        const auto base = bench::runWorkload(
+            name, sys::SystemConfig::baseline(), opt);
+        const auto grif = bench::runWorkload(
+            name, sys::SystemConfig::griffinDefault(), opt);
+
+        std::vector<std::string> cells{name};
+        for (auto &c : shareCells(base))
+            cells.push_back(std::move(c));
+        cells.push_back(sys::Table::num(100.0 * base.maxGpuShare(), 1));
+        for (auto &c : shareCells(grif))
+            cells.push_back(std::move(c));
+        cells.push_back(sys::Table::num(100.0 * grif.maxGpuShare(), 1));
+        table.addRow(std::move(cells));
+    }
+
+    bench::emit(table, opt);
+    std::cout << "(uniform = 25% per GPU; Griffin's max share should "
+                 "sit close to 25%)\n";
+    return 0;
+}

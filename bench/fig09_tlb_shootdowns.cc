@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: the number of TLB shootdowns under the
+ * baseline versus Griffin, normalized to the baseline. Griffin adds
+ * GPU-side shootdowns for inter-GPU migrations but batches the
+ * CPU-side ones so aggressively that the total drops well below 1.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::Options::parse(argc, argv);
+
+    std::cout << "=== Figure 9: TLB shootdowns, Griffin normalized to "
+                 "baseline ===\n\n";
+
+    sys::Table table({"Benchmark", "Base(cpu)", "Grif(cpu)", "Grif(gpu)",
+                      "Normalized", ""});
+
+    for (const auto &name : opt.workloads) {
+        const auto base = bench::runWorkload(
+            name, sys::SystemConfig::baseline(), opt);
+        const auto grif = bench::runWorkload(
+            name, sys::SystemConfig::griffinDefault(), opt);
+
+        const double norm = base.totalShootdowns()
+            ? double(grif.totalShootdowns()) /
+                  double(base.totalShootdowns())
+            : 0.0;
+        table.addRow({name,
+                      std::to_string(base.cpuShootdowns),
+                      std::to_string(grif.cpuShootdowns),
+                      std::to_string(grif.gpuShootdowns),
+                      sys::Table::num(norm),
+                      sys::asciiBar(norm, 1.0, 30)});
+    }
+
+    bench::emit(table, opt);
+    std::cout << "(baseline has no GPU-side shootdowns: it never "
+                 "migrates between GPUs)\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot substrate components:
+ * event queue throughput, cache and TLB lookups, the DPC classifier,
+ * access counters, and link arbitration. These bound the simulator's
+ * own speed (events/second), which determines how large a workload
+ * the harness can regenerate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/dpc.hh"
+#include "src/gpu/access_counter.hh"
+#include "src/interconnect/link.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/page_table.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/rng.hh"
+#include "src/xlat/tlb.hh"
+
+using namespace griffin;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const std::size_t batch = std::size_t(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < batch; ++i)
+            q.schedule(Tick(i % 97), [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(batch));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheConfig{std::uint64_t(state.range(0)),
+                                      16, 64, 1});
+    sim::Rng rng(7);
+    for (auto _ : state) {
+        const Addr addr = rng.nextBelow(8 * 1024 * 1024);
+        benchmark::DoNotOptimize(cache.access(addr, rng.chance(0.3)));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(16 * 1024)->Arg(2 * 1024 * 1024);
+
+static void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    xlat::Tlb tlb(xlat::TlbConfig{32, 16, 1});
+    for (PageId p = 0; p < 512; ++p)
+        tlb.fill(p, 1);
+    PageId p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(p));
+        p = (p + 1) % 512;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+static void
+BM_AccessCounterRecord(benchmark::State &state)
+{
+    gpu::AccessCounter counter(100);
+    sim::Rng rng(3);
+    for (auto _ : state)
+        counter.record(rng.nextBelow(std::uint64_t(state.range(0))));
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_AccessCounterRecord)->Arg(50)->Arg(500);
+
+static void
+BM_DpcEndPeriod(benchmark::State &state)
+{
+    core::GriffinConfig cfg;
+    mem::PageTable pt(12, 5);
+    const std::uint64_t pages = std::uint64_t(state.range(0));
+    for (PageId p = 0; p < pages; ++p)
+        pt.setLocation(p, DeviceId(1 + p % 4));
+
+    core::Dpc dpc(4, cfg);
+    sim::Rng rng(11);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (DeviceId g = 1; g <= 4; ++g) {
+            std::vector<gpu::PageCount> counts;
+            for (int i = 0; i < 20; ++i)
+                counts.push_back(gpu::PageCount{
+                    rng.nextBelow(pages),
+                    std::uint32_t(rng.nextRange(1, 255))});
+            dpc.addCounts(g, counts);
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(dpc.endPeriod(pt));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_DpcEndPeriod)->Arg(1000)->Arg(10000);
+
+static void
+BM_LinkSend(benchmark::State &state)
+{
+    ic::Link link(ic::LinkConfig{32.0, 250});
+    Tick now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(link.send(now, 0, 64));
+        now += 2;
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_LinkSend);
+
+static void
+BM_PageTableOccupancy(benchmark::State &state)
+{
+    mem::PageTable pt(12, 5);
+    for (PageId p = 0; p < 10000; ++p)
+        pt.setLocation(p, DeviceId(1 + p % 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pt.hasHighestOccupancy(2));
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_PageTableOccupancy);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates paper Table III: the workload roster with suite, access
+ * pattern and memory footprint, plus the generated trace volume at
+ * the current scale (a sanity check that the generators match their
+ * specification).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::Options::parse(argc, argv);
+
+    std::cout << "=== Table III: workloads ===\n\n";
+
+    sys::Table table({"Abbv", "Application", "Suite", "Pattern",
+                      "PaperMB", "ScaledMB", "Kernels", "WGs/kernel",
+                      "Ops(k0)"});
+
+    for (const auto &name : opt.workloads) {
+        auto w = wl::makeWorkload(name, opt.workloadConfig());
+        const auto kernel = w->makeKernel(0);
+        table.addRow({w->name(), w->fullName(), w->suite(),
+                      w->accessPattern(),
+                      std::to_string(w->paperFootprintBytes() >> 20),
+                      sys::Table::num(double(w->footprintBytes()) /
+                                          (1 << 20),
+                                      1),
+                      std::to_string(w->numKernels()),
+                      std::to_string(w->workgroupsPerKernel()),
+                      std::to_string(kernel.totalOps())});
+    }
+
+    bench::emit(table, opt);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Policy playground: sweep Griffin's mechanisms and hyperparameters
+ * on one workload and print a comparison matrix — the entry point for
+ * anyone extending the policy (e.g. toward the paper's future-work
+ * predictive migration).
+ *
+ *   ./examples/policy_playground [workload] [scaleDiv]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/sys/multi_gpu_system.hh"
+#include "src/sys/report.hh"
+#include "src/workloads/workload.hh"
+
+using namespace griffin;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    sys::SystemConfig config;
+};
+
+sys::RunResult
+run(const std::string &workload, unsigned scale,
+    const sys::SystemConfig &cfg)
+{
+    wl::WorkloadConfig wcfg;
+    wcfg.scaleDiv = scale;
+    auto w = wl::makeWorkload(workload, wcfg);
+    sys::MultiGpuSystem system(cfg);
+    return system.run(*w);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "KM";
+    const unsigned scale = argc > 2 ? unsigned(std::stoul(argv[2])) : 32;
+
+    std::vector<Variant> variants;
+    variants.push_back({"baseline", sys::SystemConfig::baseline()});
+    variants.push_back({"griffin", sys::SystemConfig::griffinDefault()});
+
+    {
+        auto cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.enableDftm = false;
+        variants.push_back({"griffin -DFTM", cfg});
+    }
+    {
+        auto cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.enableInterGpuMigration = false;
+        variants.push_back({"griffin -interGPU", cfg});
+    }
+    {
+        auto cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.useAcud = false;
+        variants.push_back({"griffin +flush", cfg});
+    }
+    {
+        auto cfg = sys::SystemConfig::griffinDefault();
+        cfg.griffin.alpha = 0.03; // paper Table I's value, untuned
+        variants.push_back({"griffin alpha=.03", cfg});
+    }
+    {
+        auto cfg = sys::SystemConfig::griffinDefault();
+        cfg.withHighBandwidthFabric();
+        variants.push_back({"griffin NVLink-class", cfg});
+    }
+
+    std::cout << "=== " << name << " under different policies (1/"
+              << scale << " scale) ===\n\n";
+    sys::Table table({"Variant", "Cycles", "Speedup", "Local%",
+                      "InterGPU", "Shootdowns"});
+
+    double base_cycles = 0;
+    for (const auto &variant : variants) {
+        const auto r = run(name, scale, variant.config);
+        if (base_cycles == 0)
+            base_cycles = double(r.cycles);
+        table.addRow({variant.name, std::to_string(r.cycles),
+                      sys::Table::num(base_cycles / double(r.cycles)),
+                      sys::Table::num(100 * r.localFraction(), 1),
+                      std::to_string(r.pagesMigratedInterGpu),
+                      std::to_string(r.totalShootdowns())});
+    }
+    std::cout << table.str();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: build a paper-configuration 4-GPU system, run one
+ * workload under the baseline and under Griffin, and compare.
+ *
+ *   ./examples/quickstart [workload] [scaleDiv]
+ *
+ * This is the smallest end-to-end use of the library's public API:
+ * SystemConfig -> MultiGpuSystem -> Workload -> run() -> RunResult.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "src/sys/multi_gpu_system.hh"
+#include "src/sys/report.hh"
+#include "src/workloads/workload.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "SC";
+    const unsigned scale = argc > 2 ? unsigned(std::stoul(argv[2])) : 32;
+
+    wl::WorkloadConfig wcfg;
+    wcfg.scaleDiv = scale;
+
+    std::cout << "Running " << name << " at 1/" << scale
+              << " of the paper footprint on a 4-GPU PCIe system...\n\n";
+
+    // --- Baseline: first-touch demand paging + pinning + DCA. ------
+    auto workload = wl::makeWorkload(name, wcfg);
+    if (!workload) {
+        std::cerr << "unknown workload '" << name << "'; pick one of:";
+        for (const auto &n : wl::workloadNames())
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 1;
+    }
+    sys::MultiGpuSystem baseline(sys::SystemConfig::baseline());
+    const auto base = baseline.run(*workload);
+
+    // --- Griffin: DFTM + CPMS + DPC + ACUD. -------------------------
+    auto workload2 = wl::makeWorkload(name, wcfg);
+    sys::MultiGpuSystem griffin(sys::SystemConfig::griffinDefault());
+    const auto grif = griffin.run(*workload2);
+
+    std::cout << "baseline : " << base.cycles << " cycles, "
+              << sys::Table::num(100 * base.localFraction(), 1)
+              << "% local accesses, " << base.cpuShootdowns
+              << " CPU shootdowns\n";
+    std::cout << "griffin  : " << grif.cycles << " cycles, "
+              << sys::Table::num(100 * grif.localFraction(), 1)
+              << "% local accesses, " << grif.totalShootdowns()
+              << " total shootdowns, " << grif.pagesMigratedInterGpu
+              << " inter-GPU migrations\n\n";
+    std::cout << "speedup  : "
+              << sys::Table::num(double(base.cycles) /
+                                 double(grif.cycles))
+              << "x\n\n";
+
+    std::cout << "final page distribution (GPU1..GPU4):\n";
+    for (int which = 0; which < 2; ++which) {
+        const auto &r = which ? grif : base;
+        std::cout << (which ? "  griffin : " : "  baseline: ");
+        for (std::size_t dev = 1; dev < r.pagesPerDevice.size(); ++dev)
+            std::cout << r.pagesPerDevice[dev] << " ";
+        std::cout << "(max share "
+                  << sys::Table::num(100 * r.maxGpuShare(), 1)
+                  << "%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "src/core/acud.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "src/sim/log.hh"
+
+namespace griffin::core {
+
+MigrationExecutor::MigrationExecutor(sim::Engine &engine,
+                                     ic::Network &network,
+                                     mem::PageTable &pt,
+                                     xlat::Iommu &iommu,
+                                     std::vector<gpu::Gpu *> gpus,
+                                     std::vector<gpu::Pmc *> pmcs,
+                                     bool use_acud)
+    : _engine(engine), _network(network), _pageTable(pt), _iommu(iommu),
+      _gpus(std::move(gpus)), _pmcs(std::move(pmcs)), _useAcud(use_acud)
+{
+}
+
+void
+MigrationExecutor::executeBatch(const MigrationBatch &batch,
+                                sim::EventFn done)
+{
+    assert(!batch.moves.empty());
+    ++batchesExecuted;
+
+    const DeviceId source = batch.source;
+    gpu::Gpu *src_gpu = gpuOf(source);
+
+    // Shared state for the continuation chain.
+    auto moves = std::make_shared<std::vector<MigrationCandidate>>(
+        batch.moves);
+    auto pages = std::make_shared<std::vector<PageId>>();
+    pages->reserve(moves->size());
+    for (const auto &m : *moves)
+        pages->push_back(m.page);
+    std::sort(pages->begin(), pages->end());
+
+    // 1. Mark the pages as migrating so the next DPC period does not
+    // re-select them. Translations keep being served from the old
+    // location until the shootdown — execution is undisturbed while
+    // the drain command travels (paper Figure 7's timeline).
+    for (const PageId page : *pages)
+        _pageTable.info(page).migrationPending = true;
+
+    GLOG(Trace, "executor: batch of " << pages->size()
+                << " pages from gpu " << source);
+
+    auto transfer_phase = [this, moves, done = std::move(done)]() mutable {
+        auto remaining = std::make_shared<std::size_t>(moves->size());
+        auto all_done = std::make_shared<sim::EventFn>(std::move(done));
+        for (const auto &move : *moves) {
+            ++pagesMigrated;
+            ++migrationsByClass[std::size_t(move.reason)];
+            _pmcs[move.from]->transferPage(
+                move.page, move.to,
+                [this, move, remaining, all_done] {
+                    _pageTable.setLocation(move.page, move.to);
+                    _iommu.onMigrationDone(move.page);
+                    if (--*remaining == 0) {
+                        // Completion notification back to the driver.
+                        _network.send(move.to, cpuDeviceId,
+                                      ic::MessageSizes::drainReply,
+                                      std::move(*all_done));
+                    }
+                });
+        }
+    };
+
+    // 2. Drain command travels to the source GPU.
+    _network.send(cpuDeviceId, source, ic::MessageSizes::drainCommand,
+                  [this, src_gpu, pages, moves,
+                   transfer_phase = std::move(transfer_phase)]() mutable {
+        const bool selective = _useAcud;
+        auto after_quiesce = [this, src_gpu, pages, selective,
+                              transfer_phase = std::move(transfer_phase)]
+                             () mutable {
+            // 4. Selective TLB shootdown and L2/L1 flush of exactly
+            // the migrating pages. (The full-flush path already
+            // purged all TLBs and caches inside flushForMigration.)
+            // From here until each page's transfer completes, the
+            // page is unavailable: new translations park.
+            for (const PageId page : *pages)
+                _iommu.blockPage(page);
+            Tick wb_done = _engine.now();
+            if (selective) {
+                src_gpu->shootdownPages(*pages);
+                wb_done = src_gpu->flushCachesForPages(*pages);
+            }
+            const Tick resume_at =
+                std::max(wb_done, _engine.now() +
+                                      src_gpu->config().shootdownLatency);
+            _engine.scheduleAt(resume_at,
+                               [src_gpu,
+                                transfer_phase = std::move(transfer_phase)]
+                               () mutable {
+                // 5. Continue: execution restarts before the data
+                // moves (paper Figure 7).
+                src_gpu->resumeAllCus();
+                // 6. Transfers stream out concurrently.
+                transfer_phase();
+            });
+        };
+
+        if (_useAcud) {
+            // 3a. ACUD drain.
+            src_gpu->drainForPages(pages, std::move(after_quiesce));
+        } else {
+            // 3b. Conventional full pipeline flush.
+            src_gpu->flushForMigration(std::move(after_quiesce));
+        }
+    });
+}
+
+} // namespace griffin::core

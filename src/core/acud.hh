@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The inter-GPU migration protocol, built around Asynchronous Compute
+ * Unit Draining (paper SS III-D, Figure 7):
+ *
+ *   1. block the pages at the IOMMU (new translations park);
+ *   2. send the drain command to the source GPU over the fabric;
+ *   3. ACUD: pause issue, wait only for in-flight transactions that
+ *      target the migrating pages — or, in the conventional mode the
+ *      paper compares against (Figure 11), flush the whole pipeline;
+ *   4. selective TLB shootdown + selective L2 flush of those pages;
+ *   5. "Continue": CUs resume BEFORE the data moves;
+ *   6. PMC streams the pages to their destinations;
+ *   7. page table updates, parked translations replay.
+ */
+
+#ifndef GRIFFIN_CORE_ACUD_HH
+#define GRIFFIN_CORE_ACUD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cpms.hh"
+#include "src/gpu/gpu.hh"
+#include "src/gpu/pmc.hh"
+#include "src/interconnect/switch.hh"
+#include "src/mem/page_table.hh"
+#include "src/sim/engine.hh"
+#include "src/xlat/iommu.hh"
+
+namespace griffin::core {
+
+/**
+ * Executes migration batches against source GPUs.
+ */
+class MigrationExecutor
+{
+  public:
+    /**
+     * @param engine  event engine.
+     * @param network inter-device fabric (command/ack messages).
+     * @param pt      global page table.
+     * @param iommu   for page blocking and completion replay.
+     * @param gpus    GPUs indexed by device id - 1.
+     * @param pmcs    per-device PMCs indexed by device id.
+     * @param use_acud true: ACUD drain; false: full pipeline flush.
+     */
+    MigrationExecutor(sim::Engine &engine, ic::Network &network,
+                      mem::PageTable &pt, xlat::Iommu &iommu,
+                      std::vector<gpu::Gpu *> gpus,
+                      std::vector<gpu::Pmc *> pmcs, bool use_acud);
+
+    /**
+     * Run one batch; @p done fires when every page has landed and the
+     * driver has been notified.
+     */
+    void executeBatch(const MigrationBatch &batch, sim::EventFn done);
+
+    /** @name Statistics @{ */
+    std::uint64_t batchesExecuted = 0;
+    std::uint64_t pagesMigrated = 0;
+    std::uint64_t migrationsByClass[5] = {0, 0, 0, 0, 0};
+    /** @} */
+
+  private:
+    sim::Engine &_engine;
+    ic::Network &_network;
+    mem::PageTable &_pageTable;
+    xlat::Iommu &_iommu;
+    std::vector<gpu::Gpu *> _gpus;
+    std::vector<gpu::Pmc *> _pmcs;
+    bool _useAcud;
+
+    gpu::Gpu *gpuOf(DeviceId dev) { return _gpus[dev - 1]; }
+};
+
+} // namespace griffin::core
+
+#endif // GRIFFIN_CORE_ACUD_HH

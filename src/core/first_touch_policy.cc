@@ -1,0 +1,17 @@
+#include "src/core/first_touch_policy.hh"
+
+#include "src/mem/page_table.hh"
+
+namespace griffin::core {
+
+CpuAccessDecision
+FirstTouchPolicy::onCpuResidentAccess(DeviceId requester, PageId page,
+                                      mem::PageTable &pt)
+{
+    (void)requester;
+    pt.info(page).touched = true;
+    ++firstTouchMigrations;
+    return CpuAccessDecision{true};
+}
+
+} // namespace griffin::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Griffin's hyperparameters. Defaults reproduce paper Table I.
+ */
+
+#ifndef GRIFFIN_CORE_GRIFFIN_CONFIG_HH
+#define GRIFFIN_CORE_GRIFFIN_CONFIG_HH
+
+#include "src/sim/types.hh"
+
+namespace griffin::core {
+
+/**
+ * Tunables of the four Griffin mechanisms (paper Table I), plus the
+ * engineering knobs the paper describes qualitatively (CPMS limits on
+ * pages/GPUs per migration phase, SS III-B).
+ */
+struct GriffinConfig
+{
+    /** @name Paper Table I @{ */
+
+    /** N_PTW: page walks to wait for before triggering migration. */
+    unsigned nPtw = 8;
+    /** T_ac: cycles between access-count collections. */
+    Tick tAc = 1000;
+    /** alpha: EWMA forgetting rate of the access-count filter. */
+    double alpha = 0.03;
+    /** lambda_d: min 1st/2nd count ratio for Mostly Dedicated. */
+    double lambdaD = 2.0;
+    /** lambda_s: max 1st/2nd count ratio for Shared. */
+    double lambdaS = 1.3;
+    /** lambda_t: max accesses/cycle for Streaming. */
+    double lambdaT = 0.03;
+
+    /** @} */
+
+    /** @name CPMS engineering limits (paper SS III-B) @{ */
+
+    /** Pages migrated per migration phase, across all sources. */
+    unsigned maxPagesPerPeriod = 96;
+    /**
+     * Collection periods between migration phases ("the configured
+     * time between migrations", SS III-B): counts are gathered every
+     * T_ac, but GPUs are drained at this coarser cadence.
+     */
+    unsigned migrationInterval = 12;
+    /** Source GPUs drained per migration phase. */
+    unsigned maxSourceGpusPerPeriod = 4;
+    /** Max cycles the driver holds a CPU-fault batch open. */
+    Tick faultBatchWindow = 2000;
+
+    /** @} */
+
+    /** @name Component toggles (ablation studies) @{ */
+
+    /** Delayed First-Touch Migration (SS III-A). */
+    bool enableDftm = true;
+    /**
+     * DFTM denial lease: after a denied first touch the page streams
+     * from CPU memory via DCA. The lease expires when the stream goes
+     * quiet for dftmLeaseGap cycles — a single-sweep page (e.g.
+     * Matrix Transpose input) then simply never migrates, the paper's
+     * "pages that are not used more than once are not migrated from
+     * the CPU". Pages that stay continuously hot are capped at
+     * dftmLeaseCap so they leave the shared CPU link eventually; the
+     * first touch after expiry is the migrating "second touch".
+     */
+    Tick dftmLeaseGap = 2000;
+    Tick dftmLeaseCap = 6000;
+    /** Periodic DPC classification + inter-GPU migration (SS III-C). */
+    bool enableInterGpuMigration = true;
+    /** ACUD drain; false falls back to full pipeline flush (Fig 11). */
+    bool useAcud = true;
+
+    /**
+     * Paper SS VII future work: predictive inter-GPU migration. When
+     * enabled, the DPC extrapolates rising per-GPU trends and
+     * migrates an owner-shifting page as soon as the riser is
+     * *projected* to overtake the owner, instead of waiting for the
+     * crossover to be observed (reactive behaviour, Figure 10's lag).
+     */
+    bool enablePredictiveMigration = false;
+    /** Periods of look-ahead for the trend extrapolation. */
+    double predictiveLookahead = 3.0;
+
+    /** @} */
+};
+
+} // namespace griffin::core
+
+#endif // GRIFFIN_CORE_GRIFFIN_CONFIG_HH

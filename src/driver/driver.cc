@@ -1,0 +1,99 @@
+#include "src/driver/driver.hh"
+
+#include <cassert>
+#include <memory>
+
+#include "src/sim/log.hh"
+
+namespace griffin::driver {
+
+Driver::Driver(sim::Engine &engine, mem::PageTable &pt, xlat::Iommu &iommu,
+               gpu::Pmc &cpu_pmc, const DriverConfig &config)
+    : _engine(engine), _pageTable(pt), _iommu(iommu), _cpuPmc(cpu_pmc),
+      _config(config)
+{
+    assert(config.faultBatchSize > 0);
+}
+
+void
+Driver::onPageFault(DeviceId requester, PageId page)
+{
+    ++faultsReceived;
+    _queue.push_back(Fault{requester, page});
+    maybeStartBatch();
+}
+
+void
+Driver::maybeStartBatch()
+{
+    if (_processing || _queue.empty())
+        return;
+
+    if (_queue.size() >= _config.faultBatchSize) {
+        startBatch();
+        return;
+    }
+
+    // CPMS waits for the pending page walks to complete before
+    // migrating (paper SS III-B) — but when the IOMMU has no walk in
+    // flight, nothing further can fault and waiting would only add
+    // latency (e.g. when every GPU is already parked on this very
+    // page). Service the under-full batch immediately.
+    if (_iommu.activeWalks() == 0) {
+        startBatch();
+        return;
+    }
+
+    // Under-full batch: hold it open for the batching window, then
+    // service whatever accumulated (CPMS cannot wait forever for
+    // walks that will never fault).
+    if (!_windowArmed) {
+        _windowArmed = true;
+        _engine.schedule(_config.faultBatchWindow, [this] {
+            _windowArmed = false;
+            if (!_processing && !_queue.empty())
+                startBatch();
+        });
+    }
+}
+
+void
+Driver::startBatch()
+{
+    assert(!_processing && !_queue.empty());
+    _processing = true;
+
+    std::vector<Fault> batch;
+    while (!_queue.empty() && batch.size() < _config.faultBatchSize) {
+        batch.push_back(_queue.front());
+        _queue.pop_front();
+    }
+
+    ++batchesProcessed;
+    ++cpuShootdowns;
+    GLOG(Trace, "driver: fault batch of " << batch.size() << " pages");
+
+    // One driver service pass + one CPU flush covers the whole batch.
+    // This is the serial component: the driver cannot take the next
+    // batch until the shootdown/flush is done. The page transfers
+    // themselves are DMA — they pipeline on the CPU's upstream link
+    // while the driver moves on.
+    _engine.schedule(_config.faultServiceLatency + _config.cpuFlushPenalty,
+                     [this, batch = std::move(batch)] {
+        for (const Fault &fault : batch) {
+            _cpuPmc.transferPage(
+                fault.page, fault.requester,
+                [this, fault] {
+                    ++pagesMigratedIn;
+                    _pageTable.setLocation(fault.page, fault.requester);
+                    if (_config.pinAfterMigration)
+                        _pageTable.info(fault.page).pinned = true;
+                    _iommu.onMigrationDone(fault.page);
+                });
+        }
+        _processing = false;
+        maybeStartBatch();
+    });
+}
+
+} // namespace griffin::driver

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The per-Shader-Engine page access counter table that feeds Griffin's
+ * Dynamic Page Classification (paper SS III-C and SS V "Hardware Cost").
+ *
+ * Hardware budget follows the paper: 100 entries per table, each
+ * holding a 36-bit page id and an 8-bit saturating count; the driver
+ * periodically collects the top entries (20 fit in one 110-byte
+ * message) and the table resets.
+ */
+
+#ifndef GRIFFIN_GPU_ACCESS_COUNTER_HH
+#define GRIFFIN_GPU_ACCESS_COUNTER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::gpu {
+
+/** One collected (page, count) sample. */
+struct PageCount
+{
+    PageId page;
+    std::uint32_t count;
+};
+
+/**
+ * A bounded page -> saturating-count table.
+ */
+class AccessCounter
+{
+  public:
+    /**
+     * @param capacity  entries in the hardware table (paper: 100).
+     * @param max_count saturation value of the counter (paper: 0xff).
+     */
+    explicit AccessCounter(std::size_t capacity = 100,
+                           std::uint32_t max_count = 0xff);
+
+    std::size_t capacity() const { return _capacity; }
+
+    /**
+     * Record one post-coalescing transaction to @p page. When the
+     * table is full the entry with the smallest count is replaced,
+     * which keeps the hottest pages resident.
+     */
+    void record(PageId page);
+
+    /**
+     * Collect up to @p max_pages entries with the largest counts and
+     * reset the table (the paper resets counters after each transfer
+     * to the driver).
+     */
+    std::vector<PageCount> collectTop(std::size_t max_pages);
+
+    /** Current entry count (for tests). */
+    std::size_t size() const { return _table.size(); }
+
+    /** @name Statistics @{ */
+    std::uint64_t recorded = 0;
+    std::uint64_t saturated = 0;
+    std::uint64_t capacityEvictions = 0;
+    /** @} */
+
+  private:
+    std::size_t _capacity;
+    std::uint32_t _maxCount;
+    std::unordered_map<PageId, std::uint32_t> _table;
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_ACCESS_COUNTER_HH

@@ -1,0 +1,175 @@
+#include "src/gpu/compute_unit.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace griffin::gpu {
+
+ComputeUnit::ComputeUnit(sim::Engine &engine, CuMemoryInterface &memory,
+                         unsigned cu_id, const CuConfig &config)
+    : _engine(engine), _memory(memory), _cuId(cu_id), _config(config)
+{
+    assert(config.maxWavefronts > 0);
+}
+
+void
+ComputeUnit::startWorkgroup(wl::Workgroup wg, sim::EventFn on_done)
+{
+    assert(!_wgActive && "CU runs one workgroup at a time");
+    assert(_inflight.empty());
+
+    _wgActive = true;
+    _wg = std::move(wg);
+    _wgDone = std::move(on_done);
+    _wfStates.assign(_wg.wavefronts.size(), WfState{});
+    _waitingWavefronts.clear();
+    _runningWavefronts = 0;
+    _finishedWavefronts = 0;
+
+    if (_wg.wavefronts.empty()) {
+        // Degenerate but legal: an empty workgroup retires at once.
+        _engine.schedule(_config.issueLatency, [this] {
+            ++workgroupsRetired;
+            _wgActive = false;
+            auto done = std::move(_wgDone);
+            _wgDone = nullptr;
+            if (done)
+                done();
+        });
+        return;
+    }
+
+    for (std::size_t wf = 0; wf < _wfStates.size(); ++wf) {
+        if (_runningWavefronts < _config.maxWavefronts) {
+            ++_runningWavefronts;
+            _engine.schedule(_config.issueLatency,
+                             [this, wf] { tryIssue(wf); });
+        } else {
+            _waitingWavefronts.push_back(wf);
+        }
+    }
+}
+
+void
+ComputeUnit::tryIssue(std::size_t wf_index)
+{
+    WfState &wf = _wfStates[wf_index];
+    if (wf.finished || wf.inFlight)
+        return;
+    if (_paused) {
+        wf.pendingIssue = true;
+        return;
+    }
+    wf.pendingIssue = false;
+
+    if (wf.pc >= _wg.wavefronts[wf_index].ops.size()) {
+        finishWavefront(wf_index);
+        return;
+    }
+    issueOp(wf_index);
+}
+
+void
+ComputeUnit::issueOp(std::size_t wf_index)
+{
+    WfState &wf = _wfStates[wf_index];
+    const wl::MemOp &op = _wg.wavefronts[wf_index].ops[wf.pc];
+
+    const std::uint64_t seq = _nextSeq++;
+    _inflight.emplace(seq, wf_index);
+    wf.inFlight = true;
+    ++opsIssued;
+
+    _memory.cuAccess(_cuId, op.vaddr, op.isWrite,
+                     [this, seq] { onOpDone(seq); });
+}
+
+void
+ComputeUnit::onOpDone(std::uint64_t seq)
+{
+    auto it = _inflight.find(seq);
+    if (it == _inflight.end()) {
+        // The op was discarded by flushPipeline(); the reply is stale.
+        return;
+    }
+    const std::size_t wf_index = it->second;
+    _inflight.erase(it);
+
+    WfState &wf = _wfStates[wf_index];
+    assert(wf.inFlight);
+    wf.inFlight = false;
+    ++opsCompleted;
+
+    const wl::MemOp &completed = _wg.wavefronts[wf_index].ops[wf.pc];
+    ++wf.pc;
+    const Tick delay = std::max<Tick>(1, completed.computeDelay);
+    _engine.schedule(delay, [this, wf_index] { tryIssue(wf_index); });
+}
+
+void
+ComputeUnit::finishWavefront(std::size_t wf_index)
+{
+    WfState &wf = _wfStates[wf_index];
+    assert(!wf.finished && !wf.inFlight);
+    wf.finished = true;
+    ++_finishedWavefronts;
+    assert(_runningWavefronts > 0);
+    --_runningWavefronts;
+
+    // Admit a waiting wavefront, if any.
+    if (!_waitingWavefronts.empty()) {
+        const std::size_t next = _waitingWavefronts.front();
+        _waitingWavefronts.pop_front();
+        ++_runningWavefronts;
+        _engine.schedule(_config.issueLatency,
+                         [this, next] { tryIssue(next); });
+    }
+
+    if (_finishedWavefronts == _wfStates.size()) {
+        ++workgroupsRetired;
+        _wgActive = false;
+        auto done = std::move(_wgDone);
+        _wgDone = nullptr;
+        if (done)
+            done();
+    }
+}
+
+void
+ComputeUnit::pauseIssue()
+{
+    _paused = true;
+}
+
+void
+ComputeUnit::flushPipeline()
+{
+    _paused = true;
+
+    // Discard every in-flight transaction: replies become stale and
+    // the wavefronts replay the same pc after resume().
+    for (const auto &[seq, wf_index] : _inflight) {
+        WfState &wf = _wfStates[wf_index];
+        assert(wf.inFlight);
+        wf.inFlight = false;
+        wf.pendingIssue = true;
+        ++opsDiscarded;
+    }
+    _inflight.clear();
+}
+
+void
+ComputeUnit::resume()
+{
+    assert(_paused);
+    _paused = false;
+
+    for (std::size_t wf = 0; wf < _wfStates.size(); ++wf) {
+        if (_wfStates[wf].pendingIssue)
+            _engine.schedule(_config.issueLatency,
+                             [this, wf] { tryIssue(wf); });
+    }
+}
+
+} // namespace griffin::gpu

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A Compute Unit: executes the wavefront memory traces of one
+ * workgroup at a time with a bounded number of concurrent wavefronts.
+ *
+ * The CU provides the two issue-side primitives that the migration
+ * quiesce mechanisms are built from:
+ *
+ *  - pauseIssue()/resume(): stop feeding new transactions into the
+ *    pipeline while keeping all in-flight work alive. Griffin's ACUD
+ *    (paper SS III-D) pauses the CUs and then waits — at the GPU level,
+ *    where the translated in-flight buffer lives — only for the
+ *    transactions that target the migrating pages.
+ *  - flushPipeline(): the conventional scheme — discard every
+ *    in-flight transaction; the lost work replays after resume().
+ */
+
+#ifndef GRIFFIN_GPU_COMPUTE_UNIT_HH
+#define GRIFFIN_GPU_COMPUTE_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+#include "src/workloads/trace.hh"
+
+namespace griffin::gpu {
+
+/** CU execution parameters. */
+struct CuConfig
+{
+    /** Wavefronts that may be in flight concurrently. */
+    unsigned maxWavefronts = 16;
+    /** Cycles between a workgroup arriving and its first issue. */
+    Tick issueLatency = 1;
+};
+
+/**
+ * The CU's window into the GPU memory system; implemented by Gpu.
+ */
+class CuMemoryInterface
+{
+  public:
+    virtual ~CuMemoryInterface() = default;
+
+    /**
+     * Issue one post-coalescing transaction. @p done fires when the
+     * data (or write ack) returns to the CU.
+     */
+    virtual void cuAccess(unsigned cu_id, Addr vaddr, bool is_write,
+                          sim::EventFn done) = 0;
+};
+
+/**
+ * One Compute Unit.
+ */
+class ComputeUnit
+{
+  public:
+    ComputeUnit(sim::Engine &engine, CuMemoryInterface &memory,
+                unsigned cu_id, const CuConfig &config);
+
+    unsigned cuId() const { return _cuId; }
+
+    /** True while a workgroup is resident. */
+    bool busy() const { return _wgActive; }
+
+    /** True while issue is paused (drain or flush in progress). */
+    bool paused() const { return _paused; }
+
+    /** Outstanding memory transactions right now. */
+    std::size_t inflightOps() const { return _inflight.size(); }
+
+    /**
+     * Begin executing @p wg. Must be idle. @p on_done fires when every
+     * wavefront of the workgroup has retired.
+     */
+    void startWorkgroup(wl::Workgroup wg, sim::EventFn on_done);
+
+    /**
+     * Stop issuing new transactions; in-flight ones keep running.
+     * Part of both the ACUD drain and the flush sequence.
+     */
+    void pauseIssue();
+
+    /**
+     * Conventional flush: discard all in-flight transactions (their
+     * issue slots replay after resume()) and pause issue.
+     */
+    void flushPipeline();
+
+    /** Restart issue after a pause or flush. */
+    void resume();
+
+    /** @name Statistics @{ */
+    std::uint64_t opsIssued = 0;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t opsDiscarded = 0;     ///< killed by flushPipeline()
+    std::uint64_t workgroupsRetired = 0;
+    /** @} */
+
+  private:
+    struct WfState
+    {
+        std::size_t pc = 0;
+        bool inFlight = false;
+        bool finished = false;
+        /** Issue was deferred because the CU was paused. */
+        bool pendingIssue = false;
+    };
+
+    sim::Engine &_engine;
+    CuMemoryInterface &_memory;
+    unsigned _cuId;
+    CuConfig _config;
+
+    bool _wgActive = false;
+    bool _paused = false;
+    wl::Workgroup _wg;
+    sim::EventFn _wgDone;
+    std::vector<WfState> _wfStates;
+    std::deque<std::size_t> _waitingWavefronts; ///< beyond maxWavefronts
+    unsigned _runningWavefronts = 0;
+    std::size_t _finishedWavefronts = 0;
+
+    std::uint64_t _nextSeq = 0;
+    /** seq -> wavefront index, for staleness filtering after a flush. */
+    std::unordered_map<std::uint64_t, std::size_t> _inflight;
+
+    void tryIssue(std::size_t wf_index);
+    void issueOp(std::size_t wf_index);
+    void onOpDone(std::uint64_t seq);
+    void finishWavefront(std::size_t wf_index);
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_COMPUTE_UNIT_HH

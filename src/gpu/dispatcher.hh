@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The centralized kernel dispatcher (paper SS II-A): converts a kernel
+ * launch into workgroups and hands them to the GPUs on demand — a CU
+ * that retires a workgroup frees a slot and its GPU receives the next
+ * one.
+ *
+ * GPU 1 is polled first in every dispatch slot, so it acquires each
+ * round's first workgroup; combined with demand-driven hand-out this
+ * reproduces the positive feedback the paper blames for first-touch
+ * imbalance (SS II-C, challenge 2): the GPU whose faults are serviced
+ * first runs ahead, frees CUs sooner, receives more workgroups, and
+ * first-touches more pages.
+ */
+
+#ifndef GRIFFIN_GPU_DISPATCHER_HH
+#define GRIFFIN_GPU_DISPATCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/gpu/gpu.hh"
+#include "src/sim/engine.hh"
+#include "src/workloads/trace.hh"
+
+namespace griffin::gpu {
+
+/**
+ * Deals workgroups to GPUs on demand and tracks kernel completion.
+ */
+class Dispatcher
+{
+  public:
+    /**
+     * @param engine event engine.
+     * @param gpus   target GPUs (poll order = vector order).
+     * @param dispatch_latency cycles between consecutive workgroup
+     *        hand-offs; models the dispatcher's serialization.
+     */
+    Dispatcher(sim::Engine &engine, std::vector<Gpu *> gpus,
+               Tick dispatch_latency = 4);
+
+    /**
+     * Launch @p kernel; @p on_done fires when every workgroup has
+     * retired. Only one kernel may be in flight at a time (the
+     * unified multi-GPU model runs kernels back to back).
+     */
+    void launchKernel(wl::KernelLaunch kernel, sim::EventFn on_done);
+
+    /** True while a kernel is executing. */
+    bool kernelInFlight() const { return _remainingWgs > 0; }
+
+    /** Workgroups dispatched to each GPU so far (for tests). */
+    const std::vector<std::uint64_t> &perGpuDispatched() const
+    {
+        return _perGpuDispatched;
+    }
+
+    /** @name Statistics @{ */
+    std::uint64_t kernelsLaunched = 0;
+    std::uint64_t workgroupsDispatched = 0;
+    /** @} */
+
+  private:
+    sim::Engine &_engine;
+    std::vector<Gpu *> _gpus;
+    Tick _dispatchLatency;
+
+    std::deque<wl::Workgroup> _pending;
+    std::size_t _cursor = 0; ///< round-robin poll cursor
+    std::uint64_t _remainingWgs = 0;
+    sim::EventFn _kernelDone;
+    std::vector<std::uint64_t> _perGpuDispatched;
+    bool _dealScheduled = false;
+
+    void scheduleDeal();
+    void dealOne();
+    void onWorkgroupDone();
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_DISPATCHER_HH

@@ -1,0 +1,407 @@
+#include "src/gpu/gpu.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/sim/log.hh"
+
+namespace griffin::gpu {
+
+Gpu::Gpu(sim::Engine &engine, DeviceId id, const GpuConfig &config,
+         ic::Network &network, xlat::Iommu &iommu, RemoteRouter &router)
+    : _engine(engine), _id(id), _config(config), _network(network),
+      _iommu(iommu), _router(router), _l2(config.l2Cache),
+      _l2Tlb(config.l2Tlb), _dram(config.dram),
+      _rdma(engine, network, id, _l2, _dram, config.lineBytes)
+{
+    assert(id != cpuDeviceId && "device 0 is the CPU");
+
+    const unsigned num_cus = config.numCus();
+    _cus.reserve(num_cus);
+    _l1s.reserve(num_cus);
+    _l1Tlbs.reserve(num_cus);
+    for (unsigned cu_id = 0; cu_id < num_cus; ++cu_id) {
+        _cus.push_back(std::make_unique<ComputeUnit>(engine, *this, cu_id,
+                                                     config.cu));
+        _l1s.emplace_back(config.l1Cache);
+        _l1Tlbs.emplace_back(config.l1Tlb);
+    }
+    _ses.reserve(config.numSes);
+    for (unsigned se = 0; se < config.numSes; ++se) {
+        _ses.emplace_back(se, se * config.cusPerSe, config.cusPerSe,
+                          config.accessCounterCapacity);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workgroup execution
+// ---------------------------------------------------------------------
+
+void
+Gpu::enqueueWorkgroup(wl::Workgroup wg)
+{
+    _wgQueue.push_back(std::move(wg));
+    tryDispatchWorkgroups();
+}
+
+void
+Gpu::tryDispatchWorkgroups()
+{
+    for (unsigned cu_idx = 0; cu_idx < _cus.size() && !_wgQueue.empty();
+         ++cu_idx) {
+        if (_cus[cu_idx]->busy())
+            continue;
+        wl::Workgroup wg = std::move(_wgQueue.front());
+        _wgQueue.pop_front();
+        _cus[cu_idx]->startWorkgroup(std::move(wg), [this, cu_idx] {
+            onWorkgroupDone(cu_idx);
+        });
+    }
+}
+
+void
+Gpu::onWorkgroupDone(unsigned cu_idx)
+{
+    ++workgroupsExecuted;
+    if (!_wgQueue.empty() && !_cus[cu_idx]->busy()) {
+        wl::Workgroup wg = std::move(_wgQueue.front());
+        _wgQueue.pop_front();
+        _cus[cu_idx]->startWorkgroup(std::move(wg), [this, cu_idx] {
+            onWorkgroupDone(cu_idx);
+        });
+    }
+    if (_wgDoneCb)
+        _wgDoneCb();
+}
+
+unsigned
+Gpu::freeCus() const
+{
+    unsigned free = 0;
+    for (const auto &cu : _cus)
+        free += cu->busy() ? 0 : 1;
+    return free > unsigned(_wgQueue.size())
+        ? free - unsigned(_wgQueue.size())
+        : 0;
+}
+
+bool
+Gpu::idle() const
+{
+    if (!_wgQueue.empty())
+        return false;
+    for (const auto &cu : _cus) {
+        if (cu->busy())
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Memory access path
+// ---------------------------------------------------------------------
+
+void
+Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
+{
+    const PageId page = pageOf(vaddr);
+
+    // DPC hardware: the SE access counter intercepts the request on
+    // its way to the TLB (paper SS III-C: counted before translation).
+    _ses[seOfCu(cu_id)].counter().record(page);
+    if (_probe)
+        _probe(_engine.now(), _id, page);
+
+    // L1 TLB.
+    _engine.schedule(_l1Tlbs[cu_id].latency(), [this, cu_id, vaddr, page,
+                                                is_write,
+                                                done = std::move(done)]
+                                               () mutable {
+        if (auto loc = _l1Tlbs[cu_id].lookup(page)) {
+            haveTranslation(cu_id, vaddr, is_write, *loc, std::move(done));
+            return;
+        }
+        // L2 TLB.
+        _engine.schedule(_l2Tlb.latency(), [this, cu_id, vaddr, page,
+                                            is_write,
+                                            done = std::move(done)]
+                                           () mutable {
+            if (auto loc = _l2Tlb.lookup(page)) {
+                _l1Tlbs[cu_id].fill(page, *loc);
+                haveTranslation(cu_id, vaddr, is_write, *loc,
+                                std::move(done));
+                return;
+            }
+            // IOMMU over the fabric.
+            ++xlatRequestsSent;
+            _network.send(_id, cpuDeviceId, ic::MessageSizes::xlatRequest,
+                          [this, cu_id, vaddr, page, is_write,
+                           done = std::move(done)]() mutable {
+                _iommu.request(_id, page, is_write,
+                               [this, cu_id, vaddr, page, is_write,
+                                done = std::move(done)]
+                               (xlat::XlatReply reply) mutable {
+                    // Remote translations are never cached in the GPU
+                    // TLBs (paper SS II-B).
+                    if (reply.cacheable) {
+                        _l1Tlbs[cu_id].fill(page, reply.location);
+                        _l2Tlb.fill(page, reply.location);
+                    }
+                    haveTranslation(cu_id, vaddr, is_write,
+                                    reply.location, std::move(done));
+                });
+            });
+        });
+    });
+}
+
+void
+Gpu::haveTranslation(unsigned cu_id, Addr vaddr, bool is_write,
+                     DeviceId location, sim::EventFn done)
+{
+    if (location == _id) {
+        ++localAccesses;
+        const PageId page = pageOf(vaddr);
+        enterDataPhase(page);
+        localAccess(cu_id, vaddr, is_write,
+                    [this, page, done = std::move(done)]() mutable {
+                        leaveDataPhase(page);
+                        done();
+                    });
+    } else {
+        ++remoteAccesses;
+        _router.remoteAccess(_id, location, vaddr, is_write,
+                             std::move(done));
+    }
+}
+
+void
+Gpu::localAccess(unsigned cu_id, Addr vaddr, bool is_write,
+                 sim::EventFn done)
+{
+    mem::Cache &l1 = _l1s[cu_id];
+    _engine.schedule(l1.latency(), [this, &l1, vaddr, is_write,
+                                    done = std::move(done)]() mutable {
+        const auto r1 = l1.access(vaddr, is_write);
+        if (r1.writeback) {
+            // Dirty L1 victim drains into the L2 asynchronously.
+            const Addr wb = r1.writebackAddr;
+            _engine.schedule(_config.xbarLatency, [this, wb] {
+                const auto r = _l2.access(wb, true);
+                if (r.writeback)
+                    _dram.access(_engine.now(), r.writebackAddr,
+                                 _config.lineBytes, true);
+            });
+        }
+        if (r1.hit) {
+            done();
+            return;
+        }
+
+        // L1 miss: cross the XBar to the shared L2.
+        _engine.schedule(_config.xbarLatency + _l2.latency(),
+                         [this, vaddr, is_write,
+                          done = std::move(done)]() mutable {
+            const auto r2 = _l2.access(vaddr, is_write);
+            if (r2.writeback)
+                _dram.access(_engine.now(), r2.writebackAddr,
+                             _config.lineBytes, true);
+            if (r2.hit) {
+                _engine.schedule(_config.xbarLatency, std::move(done));
+                return;
+            }
+            // L2 miss: local HBM (write-allocate reads the line).
+            const Tick ready = _dram.access(_engine.now(), vaddr,
+                                            _config.lineBytes, false);
+            _engine.scheduleAt(ready + _config.xbarLatency,
+                               std::move(done));
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// Drain / flush machinery
+// ---------------------------------------------------------------------
+
+void
+Gpu::enterDataPhase(PageId page)
+{
+    ++_dataPhase[page];
+}
+
+void
+Gpu::leaveDataPhase(PageId page)
+{
+    auto it = _dataPhase.find(page);
+    assert(it != _dataPhase.end() && it->second > 0);
+    if (--it->second == 0)
+        _dataPhase.erase(it);
+    maybeFinishDrain();
+}
+
+bool
+Gpu::drainSatisfied() const
+{
+    if (!_drainSet)
+        return true;
+    for (const PageId page : *_drainSet) {
+        if (_dataPhase.count(page))
+            return false;
+    }
+    return true;
+}
+
+void
+Gpu::maybeFinishDrain()
+{
+    if (!_drainDone || !drainSatisfied())
+        return;
+    auto done = std::move(_drainDone);
+    _drainDone = nullptr;
+    _drainSet.reset();
+    done();
+}
+
+void
+Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
+                   sim::EventFn done)
+{
+    assert(!_drainDone && "one drain at a time per GPU");
+    assert(std::is_sorted(pages->begin(), pages->end()));
+    ++drains;
+    _pausedSince = _engine.now();
+
+    // Pause the workgroup schedulers: no new instructions issue while
+    // the drain is pending (paper SS III-D).
+    for (auto &cu : _cus)
+        cu->pauseIssue();
+
+    // Scan the in-flight buffers after the comparator latency, then
+    // wait only for accesses that target the migrating pages.
+    _drainSet = std::move(pages);
+    _engine.schedule(_config.drainCheckLatency,
+                     [this, done = std::move(done)]() mutable {
+        if (drainSatisfied()) {
+            ++drainsImmediate;
+            _drainSet.reset();
+            done();
+            return;
+        }
+        _drainDone = std::move(done);
+    });
+}
+
+void
+Gpu::flushForMigration(sim::EventFn done)
+{
+    assert(!_drainDone && "cannot flush during a drain");
+    ++fullFlushes;
+    _pausedSince = _engine.now();
+
+    // Discard all in-flight work on every CU.
+    for (auto &cu : _cus)
+        cu->flushPipeline();
+
+    // Invalidate every TLB entry on this GPU.
+    std::uint64_t entries = 0;
+    for (auto &tlb : _l1Tlbs)
+        entries += tlb.invalidateAll();
+    entries += _l2Tlb.invalidateAll();
+    ++tlbShootdownEvents;
+    tlbEntriesShotDown += entries;
+
+    // Flush both cache levels; dirty lines drain into local DRAM.
+    Tick last_wb = _engine.now();
+    for (auto &l1 : _l1s) {
+        const auto fr = l1.flushAll();
+        for (std::uint64_t i = 0; i < fr.dirtyWritebacks; ++i) {
+            last_wb = std::max(last_wb,
+                               _dram.access(_engine.now(), 0,
+                                            _config.lineBytes, true));
+        }
+    }
+    const auto fr2 = _l2.flushAll();
+    for (std::uint64_t i = 0; i < fr2.dirtyWritebacks; ++i) {
+        last_wb = std::max(last_wb, _dram.access(_engine.now(), 0,
+                                                 _config.lineBytes, true));
+    }
+
+    const Tick delay = (last_wb - _engine.now()) +
+                       _config.flushRecoveryLatency;
+    _engine.schedule(delay, std::move(done));
+}
+
+void
+Gpu::resumeAllCus()
+{
+    pausedCycles += _engine.now() - _pausedSince;
+    for (auto &cu : _cus) {
+        if (cu->paused())
+            cu->resume();
+    }
+}
+
+void
+Gpu::shootdownPages(const std::vector<PageId> &pages)
+{
+    assert(std::is_sorted(pages.begin(), pages.end()));
+    ++tlbShootdownEvents;
+    std::uint64_t entries = 0;
+    for (const PageId page : pages) {
+        for (auto &tlb : _l1Tlbs)
+            entries += tlb.invalidatePage(page) ? 1 : 0;
+        entries += _l2Tlb.invalidatePage(page) ? 1 : 0;
+    }
+    tlbEntriesShotDown += entries;
+    GLOG(Trace, "gpu " << _id << ": shootdown of " << pages.size()
+                       << " pages, " << entries << " entries");
+}
+
+Tick
+Gpu::flushCachesForPages(const std::vector<PageId> &pages)
+{
+    Tick last_wb = _engine.now();
+    std::uint64_t dirty = 0;
+    for (auto &l1 : _l1s)
+        dirty += l1.flushPages(pages, _config.pageShift).dirtyWritebacks;
+    dirty += _l2.flushPages(pages, _config.pageShift).dirtyWritebacks;
+
+    for (std::uint64_t i = 0; i < dirty; ++i) {
+        // Address 0 per line is fine for the channel model: the
+        // writeback burst is what costs time, not its placement.
+        last_wb = std::max(last_wb,
+                           _dram.access(_engine.now(),
+                                        Addr(i) * _config.lineBytes,
+                                        _config.lineBytes, true));
+    }
+    return last_wb;
+}
+
+// ---------------------------------------------------------------------
+// DPC hardware
+// ---------------------------------------------------------------------
+
+std::vector<PageCount>
+Gpu::collectAccessCounts()
+{
+    std::unordered_map<PageId, std::uint32_t> merged;
+    for (auto &se : _ses) {
+        for (const auto &pc : se.counter().collectTop(
+                 _config.accessCounterTopN)) {
+            merged[pc.page] += pc.count;
+        }
+    }
+    std::vector<PageCount> out;
+    out.reserve(merged.size());
+    for (const auto &[page, count] : merged)
+        out.push_back(PageCount{page, count});
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.page < b.page;
+    });
+    return out;
+}
+
+} // namespace griffin::gpu

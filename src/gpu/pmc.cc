@@ -1,0 +1,46 @@
+#include "src/gpu/pmc.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace griffin::gpu {
+
+Pmc::Pmc(sim::Engine &engine, ic::Network &network, DeviceId self,
+         std::vector<mem::Dram *> drams, std::uint64_t page_bytes)
+    : _engine(engine), _network(network), _self(self),
+      _drams(std::move(drams)), _pageBytes(page_bytes)
+{
+    assert(page_bytes > 0);
+}
+
+void
+Pmc::transferPage(PageId page, DeviceId dst, sim::EventFn done)
+{
+    assert(dst < _drams.size() && dst != _self);
+
+    ++pagesTransferred;
+    bytesTransferred += _pageBytes;
+
+    // Source DRAM read: pages are page-aligned, so use the page base
+    // as the address for channel selection.
+    const Addr base = Addr(page) * _pageBytes;
+    const Tick read_done =
+        _drams[_self]->access(_engine.now(), base,
+                              std::uint32_t(_pageBytes), false);
+
+    // Stream across the fabric once the read completes, then commit
+    // into the destination DRAM.
+    _engine.scheduleAt(read_done, [this, base, dst,
+                                   done = std::move(done)]() mutable {
+        _network.send(_self, dst,
+                      _pageBytes + ic::MessageSizes::header,
+                      [this, base, dst, done = std::move(done)]() mutable {
+                          const Tick write_done = _drams[dst]->access(
+                              _engine.now(), base,
+                              std::uint32_t(_pageBytes), true);
+                          _engine.scheduleAt(write_done, std::move(done));
+                      });
+    });
+}
+
+} // namespace griffin::gpu

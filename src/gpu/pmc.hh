@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The Page Migration Controller (paper SS II-B, Figure 3): the DMA
+ * engine that moves whole pages between device memories over the
+ * inter-device fabric and reports completion to the driver.
+ */
+
+#ifndef GRIFFIN_GPU_PMC_HH
+#define GRIFFIN_GPU_PMC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interconnect/switch.hh"
+#include "src/mem/dram.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace griffin::gpu {
+
+/**
+ * One device's PMC. The transfer reads the page from the source DRAM,
+ * streams it across the fabric, and writes it into the destination
+ * DRAM; @p done fires when the last byte is committed.
+ */
+class Pmc
+{
+  public:
+    /**
+     * @param engine event engine.
+     * @param network inter-device fabric.
+     * @param self   the device that owns this PMC (the source side).
+     * @param drams  per-device DRAM models, indexed by DeviceId.
+     * @param page_bytes page size being migrated.
+     */
+    Pmc(sim::Engine &engine, ic::Network &network, DeviceId self,
+        std::vector<mem::Dram *> drams, std::uint64_t page_bytes);
+
+    /**
+     * Migrate @p page (by virtual page number; the model is tag-only)
+     * from this device to @p dst.
+     */
+    void transferPage(PageId page, DeviceId dst, sim::EventFn done);
+
+    /** @name Statistics @{ */
+    std::uint64_t pagesTransferred = 0;
+    std::uint64_t bytesTransferred = 0;
+    /** @} */
+
+  private:
+    sim::Engine &_engine;
+    ic::Network &_network;
+    DeviceId _self;
+    std::vector<mem::Dram *> _drams;
+    std::uint64_t _pageBytes;
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_PMC_HH

@@ -1,0 +1,57 @@
+#include "src/gpu/rdma.hh"
+
+#include <utility>
+
+namespace griffin::gpu {
+
+Rdma::Rdma(sim::Engine &engine, ic::Network &network, DeviceId self,
+           mem::Cache &l2, mem::Dram &dram, unsigned line_bytes)
+    : _engine(engine), _network(network), _self(self), _l2(l2),
+      _dram(dram), _lineBytes(line_bytes)
+{
+}
+
+void
+Rdma::serve(Addr addr, bool is_write, DeviceId reply_to,
+            sim::EventFn done, sim::EventFn enter_data_phase,
+            sim::EventFn leave_data_phase)
+{
+    if (is_write)
+        ++writesServed;
+    else
+        ++readsServed;
+
+    if (enter_data_phase)
+        enter_data_phase();
+
+    const std::uint64_t reply_bytes = is_write
+        ? ic::MessageSizes::dcaWriteAck
+        : ic::MessageSizes::dcaReadReply;
+
+    auto finish = [this, reply_to, reply_bytes, done = std::move(done),
+                   leave = std::move(leave_data_phase)]() mutable {
+        if (leave)
+            leave();
+        _network.send(_self, reply_to, reply_bytes, std::move(done));
+    };
+
+    // L2 lookup; fall through to DRAM on a miss. Dirty victims write
+    // back asynchronously (no one waits on them).
+    const auto result = _l2.access(addr, is_write);
+    if (result.writeback)
+        _dram.access(_engine.now() + _l2.latency(), result.writebackAddr,
+                     _lineBytes, true);
+
+    if (result.hit) {
+        ++l2HitsServed;
+        _engine.schedule(_l2.latency(), std::move(finish));
+    } else {
+        // Write-allocate: a missing line is fetched from DRAM first,
+        // so the DRAM transaction is a read either way.
+        const Tick ready = _dram.access(_engine.now() + _l2.latency(),
+                                        addr, _lineBytes, false);
+        _engine.scheduleAt(ready, std::move(finish));
+    }
+}
+
+} // namespace griffin::gpu

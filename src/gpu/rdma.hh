@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The per-GPU RDMA engine that serves Direct Cache Access requests
+ * from other devices (paper SS II-B, Figure 4): a remote device sends a
+ * cache-line read/write, the RDMA engine resolves it against the local
+ * L2 (falling through to local DRAM on a miss) and replies over the
+ * fabric.
+ */
+
+#ifndef GRIFFIN_GPU_RDMA_HH
+#define GRIFFIN_GPU_RDMA_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "src/interconnect/switch.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/dram.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace griffin::gpu {
+
+/**
+ * Serves incoming DCA traffic against a local L2 + DRAM pair.
+ */
+class Rdma
+{
+  public:
+    /**
+     * @param engine   event engine.
+     * @param network  the inter-device fabric (used for replies).
+     * @param self     the device this engine belongs to.
+     * @param l2       the device's shared L2 cache.
+     * @param dram     the device's local memory.
+     * @param line_bytes transfer granularity.
+     */
+    Rdma(sim::Engine &engine, ic::Network &network, DeviceId self,
+         mem::Cache &l2, mem::Dram &dram, unsigned line_bytes = 64);
+
+    /**
+     * Serve one remote access that has already arrived here.
+     * @p reply_to is the requesting device; @p done runs there after
+     * the reply message lands.
+     *
+     * The caller may pass hooks that run when the access enters and
+     * leaves the local data phase (used by ACUD drain tracking).
+     */
+    void serve(Addr addr, bool is_write, DeviceId reply_to,
+               sim::EventFn done,
+               sim::EventFn enter_data_phase = nullptr,
+               sim::EventFn leave_data_phase = nullptr);
+
+    /** @name Statistics @{ */
+    std::uint64_t readsServed = 0;
+    std::uint64_t writesServed = 0;
+    std::uint64_t l2HitsServed = 0;
+    /** @} */
+
+  private:
+    sim::Engine &_engine;
+    ic::Network &_network;
+    DeviceId _self;
+    mem::Cache &_l2;
+    mem::Dram &_dram;
+    unsigned _lineBytes;
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_RDMA_HH

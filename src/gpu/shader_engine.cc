@@ -1,0 +1,16 @@
+#include "src/gpu/shader_engine.hh"
+
+#include <cassert>
+
+namespace griffin::gpu {
+
+ShaderEngine::ShaderEngine(unsigned se_id, unsigned first_cu,
+                           unsigned num_cus, std::size_t counter_capacity)
+    : _seId(se_id), _firstCu(first_cu), _numCus(num_cus),
+      _counter(counter_capacity)
+{
+    assert(num_cus > 0 && num_cus <= 16 &&
+           "a Shader Engine groups up to 16 CUs");
+}
+
+} // namespace griffin::gpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A Shader Engine: the group of Compute Units that shares one page
+ * access counter table (paper SS III-C: "Each Shader Engine (a group of
+ * up to 16 Compute Units...) is augmented with a page access
+ * counter").
+ */
+
+#ifndef GRIFFIN_GPU_SHADER_ENGINE_HH
+#define GRIFFIN_GPU_SHADER_ENGINE_HH
+
+#include "src/gpu/access_counter.hh"
+
+namespace griffin::gpu {
+
+/**
+ * Grouping of CUs plus the shared DPC access counter hardware.
+ */
+class ShaderEngine
+{
+  public:
+    /**
+     * @param se_id   index of this SE within its GPU.
+     * @param first_cu index of the first CU in this SE.
+     * @param num_cus  CUs grouped under this SE.
+     * @param counter_capacity access counter table entries (paper: 100).
+     */
+    ShaderEngine(unsigned se_id, unsigned first_cu, unsigned num_cus,
+                 std::size_t counter_capacity);
+
+    unsigned seId() const { return _seId; }
+    unsigned firstCu() const { return _firstCu; }
+    unsigned numCus() const { return _numCus; }
+
+    /** True if @p cu_id belongs to this SE. */
+    bool
+    ownsCu(unsigned cu_id) const
+    {
+        return cu_id >= _firstCu && cu_id < _firstCu + _numCus;
+    }
+
+    AccessCounter &counter() { return _counter; }
+    const AccessCounter &counter() const { return _counter; }
+
+  private:
+    unsigned _seId;
+    unsigned _firstCu;
+    unsigned _numCus;
+    AccessCounter _counter;
+};
+
+} // namespace griffin::gpu
+
+#endif // GRIFFIN_GPU_SHADER_ENGINE_HH

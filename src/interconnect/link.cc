@@ -1,0 +1,33 @@
+#include "src/interconnect/link.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace griffin::ic {
+
+Link::Link(const LinkConfig &config) : _config(config)
+{
+    assert(config.bytesPerCycle > 0.0);
+}
+
+Tick
+Link::send(Tick now, unsigned dir, std::uint64_t bytes)
+{
+    assert(dir < 2);
+    assert(bytes > 0);
+
+    const Tick service =
+        std::max<Tick>(1, Tick(std::ceil(double(bytes) /
+                                         _config.bytesPerCycle)));
+    const Tick start = std::max(now, _nextFree[dir]);
+    _nextFree[dir] = start + service;
+
+    ++messages[dir];
+    bytesSent[dir] += bytes;
+    busyCycles[dir] += service;
+
+    return start + service + _config.latency;
+}
+
+} // namespace griffin::ic

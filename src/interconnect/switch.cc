@@ -1,0 +1,40 @@
+#include "src/interconnect/switch.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace griffin::ic {
+
+namespace {
+/** Upstream = toward the switch, downstream = toward the device. */
+constexpr unsigned dirUp = 0;
+constexpr unsigned dirDown = 1;
+} // namespace
+
+Network::Network(sim::Engine &engine, unsigned num_devices,
+                 const LinkConfig &config)
+    : _engine(engine), _links(num_devices, Link(config))
+{
+    assert(num_devices >= 2);
+}
+
+void
+Network::send(DeviceId src, DeviceId dst, std::uint64_t bytes,
+              sim::EventFn deliver)
+{
+    assert(src < _links.size() && dst < _links.size());
+    assert(src != dst && "loopback traffic never crosses the fabric");
+
+    const Tick now = _engine.now();
+    // Serialize on the source's upstream wire...
+    const Tick at_switch = _links[src].send(now, dirUp, bytes);
+    // ...then on the destination's downstream wire. The downstream
+    // reservation is made now (deterministic given event order), which
+    // models an output-queued switch.
+    const Tick at_dst = _links[dst].send(at_switch, dirDown, bytes);
+
+    ++messagesDelivered;
+    _engine.scheduleAt(at_dst, std::move(deliver));
+}
+
+} // namespace griffin::ic

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The inter-device network: a central switch with one full-duplex link
+ * per device (the CPU plus every GPU), matching the PCIe topology of
+ * the paper's testbed (Table II, "Inter-Device Network").
+ *
+ * A message from device A to device B serializes on A's upstream wire,
+ * then on B's downstream wire. Ties at the switch resolve in event-
+ * scheduling order, which — because the dispatcher starts GPU 1
+ * earliest — reproduces the arbitration bias the paper identifies as a
+ * cause of first-touch imbalance (SS II-C, challenge 2).
+ */
+
+#ifndef GRIFFIN_IC_SWITCH_HH
+#define GRIFFIN_IC_SWITCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/interconnect/link.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+
+namespace griffin::ic {
+
+/** Common message sizes on the fabric, in bytes. */
+struct MessageSizes
+{
+    static constexpr std::uint64_t header = 8;
+    static constexpr std::uint64_t xlatRequest = 64;
+    static constexpr std::uint64_t xlatReply = 64;
+    static constexpr std::uint64_t cacheLine = 64;
+    static constexpr std::uint64_t dcaReadRequest = header + 8;
+    static constexpr std::uint64_t dcaReadReply = header + cacheLine;
+    static constexpr std::uint64_t dcaWriteRequest = header + cacheLine;
+    static constexpr std::uint64_t dcaWriteAck = header;
+    static constexpr std::uint64_t drainCommand = 64;
+    static constexpr std::uint64_t drainReply = header;
+    /** Paper SS III-C: 20 pages of (36b id + 8b count) fits in 110 B. */
+    static constexpr std::uint64_t accessCountReply = 110;
+    static constexpr std::uint64_t accessCountRequest = header;
+};
+
+/**
+ * Star network over Links.
+ */
+class Network
+{
+  public:
+    /**
+     * @param engine      event engine used to deliver messages.
+     * @param num_devices devices attached (CPU is device 0).
+     * @param config      per-link bandwidth/latency.
+     */
+    Network(sim::Engine &engine, unsigned num_devices,
+            const LinkConfig &config);
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p deliver runs at the
+     * destination when the last byte arrives.
+     */
+    void send(DeviceId src, DeviceId dst, std::uint64_t bytes,
+              sim::EventFn deliver);
+
+    /** The link attaching @p dev (for stats and tests). */
+    const Link &link(DeviceId dev) const { return _links[dev]; }
+    Link &link(DeviceId dev) { return _links[dev]; }
+
+    unsigned numDevices() const { return unsigned(_links.size()); }
+
+    /** Total messages delivered. */
+    std::uint64_t messagesDelivered = 0;
+
+  private:
+    sim::Engine &_engine;
+    std::vector<Link> _links;
+};
+
+} // namespace griffin::ic
+
+#endif // GRIFFIN_IC_SWITCH_HH

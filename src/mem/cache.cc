@@ -1,0 +1,153 @@
+#include "src/mem/cache.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace griffin::mem {
+
+Cache::Cache(const CacheConfig &config) : _config(config)
+{
+    assert(config.lineBytes > 0 && std::has_single_bit(config.lineBytes));
+    assert(config.assoc > 0);
+    assert(config.sizeBytes % (std::uint64_t(config.lineBytes) * config.assoc)
+           == 0 && "size must be a whole number of sets");
+
+    _lineShift = unsigned(std::countr_zero(config.lineBytes));
+    _numSets = unsigned(config.sizeBytes /
+                        (std::uint64_t(config.lineBytes) * config.assoc));
+    assert(_numSets > 0);
+    _lines.resize(std::size_t(_numSets) * config.assoc);
+}
+
+Addr
+Cache::lineAddr(Addr addr) const
+{
+    return addr >> _lineShift;
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return unsigned(lineAddr(addr) % _numSets);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    Line *set = &_lines[std::size_t(setIndex(addr)) * _config.assoc];
+    for (unsigned way = 0; way < _config.assoc; ++way) {
+        if (set[way].valid && set[way].tag == tag)
+            return &set[way];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    AccessResult result;
+    ++_useClock;
+
+    if (Line *line = findLine(addr)) {
+        ++hits;
+        line->lastUse = _useClock;
+        line->dirty = line->dirty || is_write;
+        result.hit = true;
+        return result;
+    }
+
+    ++misses;
+
+    // Pick a victim: an invalid way if one exists, else true LRU.
+    Line *set = &_lines[std::size_t(setIndex(addr)) * _config.assoc];
+    Line *victim = &set[0];
+    for (unsigned way = 0; way < _config.assoc; ++way) {
+        if (!set[way].valid) {
+            victim = &set[way];
+            break;
+        }
+        if (set[way].lastUse < victim->lastUse)
+            victim = &set[way];
+    }
+
+    if (victim->valid) {
+        ++evictions;
+        if (victim->dirty) {
+            ++writebacks;
+            result.writeback = true;
+            result.writebackAddr = victim->tag << _lineShift;
+        }
+    }
+
+    victim->tag = lineAddr(addr);
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lastUse = _useClock;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+Cache::FlushResult
+Cache::flushPages(const std::vector<PageId> &pages, unsigned page_shift)
+{
+    assert(std::is_sorted(pages.begin(), pages.end()));
+    FlushResult result;
+    const unsigned page_line_shift = page_shift - _lineShift;
+    for (Line &line : _lines) {
+        if (!line.valid)
+            continue;
+        const PageId page = line.tag >> page_line_shift;
+        if (!std::binary_search(pages.begin(), pages.end(), page))
+            continue;
+        line.valid = false;
+        ++result.linesInvalidated;
+        if (line.dirty) {
+            ++result.dirtyWritebacks;
+            ++writebacks;
+            line.dirty = false;
+        }
+    }
+    return result;
+}
+
+Cache::FlushResult
+Cache::flushAll()
+{
+    FlushResult result;
+    for (Line &line : _lines) {
+        if (!line.valid)
+            continue;
+        line.valid = false;
+        ++result.linesInvalidated;
+        if (line.dirty) {
+            ++result.dirtyWritebacks;
+            ++writebacks;
+            line.dirty = false;
+        }
+    }
+    return result;
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : _lines)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace griffin::mem

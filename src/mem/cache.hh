@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache tag model.
+ *
+ * The model tracks tags, valid and dirty bits only (no data): the
+ * simulator is trace-driven, so timing and traffic are what matter.
+ * Selective per-page flushing is a first-class operation because both
+ * the baseline migration path and Griffin's ACUD need to purge exactly
+ * the lines of the pages being migrated (paper SS III-D).
+ */
+
+#ifndef GRIFFIN_MEM_CACHE_HH
+#define GRIFFIN_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::mem {
+
+/** Geometry and latency of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 16 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    /** Hit latency in cycles; the owner adds miss latencies itself. */
+    Tick latency = 1;
+};
+
+/**
+ * Tag-only cache with true-LRU replacement within each set.
+ */
+class Cache
+{
+  public:
+    /** Result of a single access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /** A dirty line was evicted; its address is writebackAddr. */
+        bool writeback = false;
+        Addr writebackAddr = 0;
+    };
+
+    /** Result of a flush operation. */
+    struct FlushResult
+    {
+        std::uint64_t linesInvalidated = 0;
+        std::uint64_t dirtyWritebacks = 0;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return _config; }
+    unsigned numSets() const { return _numSets; }
+    Tick latency() const { return _config.latency; }
+
+    /**
+     * Access the line containing @p addr; a miss allocates the line
+     * (write-allocate) and may evict a victim.
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Check residency without touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all lines belonging to the given (sorted) pages. */
+    FlushResult flushPages(const std::vector<PageId> &pages,
+                           unsigned page_shift);
+
+    /** Invalidate everything (baseline full-flush path). */
+    FlushResult flushAll();
+
+    /** Currently valid line count (for tests). */
+    std::uint64_t validLines() const;
+
+    /** @name Statistics @{ */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    /** @} */
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig _config;
+    unsigned _numSets;
+    unsigned _lineShift;
+    std::vector<Line> _lines; // numSets * assoc, set-major
+    std::uint64_t _useClock = 0;
+
+    Addr lineAddr(Addr addr) const;
+    unsigned setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+};
+
+} // namespace griffin::mem
+
+#endif // GRIFFIN_MEM_CACHE_HH

@@ -1,0 +1,44 @@
+#include "src/mem/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace griffin::mem {
+
+Dram::Dram(const DramConfig &config)
+    : _config(config), _channelFree(config.numChannels, 0)
+{
+    assert(config.numChannels > 0);
+    assert(config.bytesPerCyclePerChannel > 0.0);
+    assert(config.interleaveBytes > 0);
+}
+
+unsigned
+Dram::channelOf(Addr addr) const
+{
+    return unsigned((addr / _config.interleaveBytes) % _config.numChannels);
+}
+
+Tick
+Dram::access(Tick now, Addr addr, std::uint32_t bytes, bool is_write)
+{
+    assert(bytes > 0);
+    const unsigned chan = channelOf(addr);
+
+    const Tick service =
+        Tick(std::ceil(double(bytes) / _config.bytesPerCyclePerChannel));
+    const Tick start = std::max(now, _channelFree[chan]);
+    _channelFree[chan] = start + service;
+
+    if (is_write)
+        ++writes;
+    else
+        ++reads;
+    bytesTransferred += bytes;
+    busyCycles += service;
+
+    return start + service + _config.accessLatency;
+}
+
+} // namespace griffin::mem

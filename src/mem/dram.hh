@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A channel-interleaved DRAM timing model (HBM on the GPUs, DDR on the
+ * CPU). Each channel serializes its traffic at a configured bandwidth;
+ * a fixed access latency is added on top. The model answers "when will
+ * this access complete" and the caller schedules the continuation.
+ */
+
+#ifndef GRIFFIN_MEM_DRAM_HH
+#define GRIFFIN_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::mem {
+
+/** DRAM geometry and timing. */
+struct DramConfig
+{
+    unsigned numChannels = 8;
+    /** Fixed access latency (row activation, column read, ...). */
+    Tick accessLatency = 150;
+    /** Per-channel data bandwidth. HBM2 ~ 1 TB/s over 8 channels. */
+    double bytesPerCyclePerChannel = 128.0;
+    /** Channel interleave granularity. */
+    unsigned interleaveBytes = 256;
+};
+
+/**
+ * One device's DRAM.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    const DramConfig &config() const { return _config; }
+
+    /**
+     * Issue an access of @p bytes at @p addr starting no earlier than
+     * @p now. @return the completion time.
+     */
+    Tick access(Tick now, Addr addr, std::uint32_t bytes, bool is_write);
+
+    /** Channel servicing @p addr (exposed for tests). */
+    unsigned channelOf(Addr addr) const;
+
+    /** @name Statistics @{ */
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesTransferred = 0;
+    /** Sum of cycles each channel spent busy (utilization probe). */
+    std::uint64_t busyCycles = 0;
+    /** @} */
+
+  private:
+    DramConfig _config;
+    std::vector<Tick> _channelFree;
+};
+
+} // namespace griffin::mem
+
+#endif // GRIFFIN_MEM_DRAM_HH

@@ -1,0 +1,23 @@
+#include "src/sim/engine.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace griffin::sim {
+
+Tick
+Engine::run()
+{
+    _stopRequested = false;
+    while (!_stopRequested && _queue.runOne()) {
+        if (_queue.now() > _maxTicks) {
+            throw std::runtime_error(
+                "simulation watchdog tripped at tick " +
+                std::to_string(_queue.now()) +
+                ": model is likely livelocked");
+        }
+    }
+    return _queue.now();
+}
+
+} // namespace griffin::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The simulation engine: an event queue plus run-control helpers that
+ * whole-system simulations need (watchdog limit, stop requests, and
+ * quiesce detection).
+ */
+
+#ifndef GRIFFIN_SIM_ENGINE_HH
+#define GRIFFIN_SIM_ENGINE_HH
+
+#include <string>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace griffin::sim {
+
+/**
+ * Drives a simulation to completion.
+ *
+ * Components keep a reference to the engine and use schedule() for all
+ * timing. The engine also provides a watchdog: simulations that exceed
+ * maxTicks (a sign of livelock in a model) abort with a diagnostic
+ * rather than spinning forever.
+ */
+class Engine
+{
+  public:
+    /** @param max_ticks watchdog limit; maxTick disables it. */
+    explicit Engine(Tick max_ticks = maxTick) : _maxTicks(max_ticks) {}
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return _queue.now(); }
+
+    /** Schedule @p fn to run @p delay cycles from now. */
+    void schedule(Tick delay, EventFn fn) { _queue.schedule(delay, std::move(fn)); }
+
+    /** Schedule @p fn at absolute time @p when. */
+    void scheduleAt(Tick when, EventFn fn) { _queue.scheduleAt(when, std::move(fn)); }
+
+    /**
+     * Run until the event queue drains, a component calls
+     * requestStop(), or the watchdog trips.
+     *
+     * @return the simulated end time.
+     * @throws std::runtime_error if the watchdog limit is exceeded.
+     */
+    Tick run();
+
+    /** Run all events up to and including @p limit. */
+    Tick runUntil(Tick limit) { return _queue.runUntil(limit); }
+
+    /** Ask the run loop to stop after the current event. */
+    void requestStop() { _stopRequested = true; }
+
+    /** True once requestStop() was called during run(). */
+    bool stopRequested() const { return _stopRequested; }
+
+    /** Total executed events. */
+    std::uint64_t eventsExecuted() const { return _queue.eventsExecuted(); }
+
+    /** Pending event count. */
+    std::size_t pendingEvents() const { return _queue.size(); }
+
+    /** The underlying queue, for tests that need fine-grained control. */
+    EventQueue &queue() { return _queue; }
+
+  private:
+    EventQueue _queue;
+    Tick _maxTicks;
+    bool _stopRequested = false;
+};
+
+} // namespace griffin::sim
+
+#endif // GRIFFIN_SIM_ENGINE_HH

@@ -1,0 +1,51 @@
+#include "src/sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace griffin::sim {
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    assert(when >= _now && "cannot schedule an event in the past");
+    _heap.push(Entry{when, _nextSeq++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (_heap.empty())
+        return false;
+
+    // Move the callback out before popping so the entry can schedule
+    // further events (which mutates the heap) while it runs.
+    Entry entry = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+
+    assert(entry.when >= _now);
+    _now = entry.when;
+    ++_executed;
+    entry.fn();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!_heap.empty() && _heap.top().when <= limit)
+        runOne();
+    if (_now < limit)
+        _now = limit;
+    return _now;
+}
+
+} // namespace griffin::sim

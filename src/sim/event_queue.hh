@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick execute in the order they were
+ * scheduled (FIFO), which makes whole-system simulation results fully
+ * reproducible for a given seed.
+ */
+
+#ifndef GRIFFIN_SIM_EVENT_QUEUE_HH
+#define GRIFFIN_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * This is the only scheduling primitive in the simulator; components
+ * never busy-poll, they schedule a continuation for a future tick.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now.
+     * A zero delay runs the callback later in the current tick, after
+     * all previously scheduled work for this tick.
+     */
+    void schedule(Tick delay, EventFn fn) { scheduleAt(_now + delay, std::move(fn)); }
+
+    /** Schedule @p fn at absolute time @p when (must be >= now()). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** True when no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /**
+     * Execute the single earliest event.
+     * @retval true an event was executed.
+     * @retval false the queue was empty.
+     */
+    bool runOne();
+
+    /** Run until the queue drains. @return the final simulated time. */
+    Tick run();
+
+    /**
+     * Run all events with time <= @p limit. Time advances to @p limit
+     * (or stays at the last executed event if the queue drained first).
+     * @return the simulated time after running.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t eventsExecuted() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace griffin::sim
+
+#endif // GRIFFIN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,55 @@
+#include "src/sim/log.hh"
+
+#include <iostream>
+
+namespace griffin::sim {
+
+namespace {
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+
+} // namespace
+
+Log &
+Log::instance()
+{
+    static Log log;
+    return log;
+}
+
+void
+Log::setSink(Sink sink)
+{
+    instance()._sink = std::move(sink);
+}
+
+void
+Log::resetSink()
+{
+    instance()._sink = nullptr;
+}
+
+void
+Log::write(LogLevel lvl, const std::string &msg)
+{
+    if (!enabled(lvl))
+        return;
+    auto &log = instance();
+    if (log._sink) {
+        log._sink(lvl, msg);
+    } else {
+        std::cerr << "[" << levelName(lvl) << "] " << msg << "\n";
+    }
+}
+
+} // namespace griffin::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal leveled trace logging.
+ *
+ * Logging defaults to off (Warn); benches and examples enable Info or
+ * Trace to watch the migration machinery work. All output goes through
+ * one sink so tests can capture it.
+ */
+
+#ifndef GRIFFIN_SIM_LOG_HH
+#define GRIFFIN_SIM_LOG_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/sim/types.hh"
+
+namespace griffin::sim {
+
+/** Severity levels, in increasing verbosity. */
+enum class LogLevel { Error, Warn, Info, Trace };
+
+/**
+ * Process-wide logger configuration. A plain singleton: simulation is
+ * single-threaded by construction, so no synchronization is needed.
+ */
+class Log
+{
+  public:
+    using Sink = std::function<void(LogLevel, const std::string &)>;
+
+    /** Current verbosity; messages above it are discarded. */
+    static LogLevel level() { return instance()._level; }
+    static void setLevel(LogLevel lvl) { instance()._level = lvl; }
+
+    /** Replace the output sink (default writes to stderr). */
+    static void setSink(Sink sink);
+
+    /** Restore the default stderr sink. */
+    static void resetSink();
+
+    /** Emit a message if @p lvl is enabled. */
+    static void write(LogLevel lvl, const std::string &msg);
+
+    /** True if messages at @p lvl would be emitted. */
+    static bool enabled(LogLevel lvl) { return lvl <= level(); }
+
+  private:
+    static Log &instance();
+
+    LogLevel _level = LogLevel::Warn;
+    Sink _sink;
+};
+
+/**
+ * Format-and-log helper: GLOG(Info, "gpu " << id << " drained").
+ * The stream expression is only evaluated when the level is enabled.
+ */
+#define GLOG(lvl, expr)                                                     \
+    do {                                                                    \
+        if (::griffin::sim::Log::enabled(::griffin::sim::LogLevel::lvl)) {  \
+            std::ostringstream _glog_os;                                    \
+            _glog_os << expr;                                               \
+            ::griffin::sim::Log::write(::griffin::sim::LogLevel::lvl,       \
+                                       _glog_os.str());                     \
+        }                                                                   \
+    } while (0)
+
+} // namespace griffin::sim
+
+#endif // GRIFFIN_SIM_LOG_HH

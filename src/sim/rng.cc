@@ -1,0 +1,86 @@
+#include "src/sim/rng.hh"
+
+#include <cassert>
+
+namespace griffin::sim {
+
+namespace {
+
+/** splitmix64 step, used to expand a 64-bit seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : _s)
+        word = splitmix64(x);
+    // All-zero state would lock the generator; splitmix64 cannot
+    // produce four zero outputs in a row, but be defensive anyway.
+    if ((_s[0] | _s[1] | _s[2] | _s[3]) == 0)
+        _s[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Rng
+Rng::split()
+{
+    Rng child(0);
+    for (auto &word : child._s)
+        word = next();
+    if ((child._s[0] | child._s[1] | child._s[2] | child._s[3]) == 0)
+        child._s[0] = 1;
+    return child;
+}
+
+} // namespace griffin::sim

@@ -1,0 +1,107 @@
+#include "src/sim/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace griffin::sim {
+
+void
+StatSet::inc(const std::string &name, double delta)
+{
+    _scalars[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    _scalars[name] = value;
+}
+
+void
+StatSet::bind(const std::string &name, std::function<double()> probe)
+{
+    _probes[name] = std::move(probe);
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    if (auto it = _probes.find(name); it != _probes.end())
+        return it->second();
+    if (auto it = _scalars.find(name); it != _scalars.end())
+        return it->second;
+    return 0.0;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return _probes.count(name) > 0 || _scalars.count(name) > 0;
+}
+
+std::map<std::string, double>
+StatSet::all() const
+{
+    std::map<std::string, double> out = _scalars;
+    for (const auto &[name, probe] : _probes)
+        out[name] = probe();
+    return out;
+}
+
+void
+StatSet::adopt(const std::string &prefix, const StatSet &other)
+{
+    for (const auto &[name, value] : other.all())
+        _scalars[prefix + name] = value;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : all())
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : _bucketWidth(bucket_width), _buckets(num_buckets + 1, 0)
+{
+    assert(bucket_width > 0.0 && num_buckets > 0);
+}
+
+void
+Histogram::sample(double value)
+{
+    if (_count == 0) {
+        _min = _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++_count;
+    _sum += value;
+
+    auto idx = std::size_t(value / _bucketWidth);
+    if (idx >= _buckets.size())
+        idx = _buckets.size() - 1;
+    ++_buckets[idx];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    const double target = p / 100.0 * double(_count);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (double(seen) >= target)
+            return double(i + 1) * _bucketWidth;
+    }
+    return _max;
+}
+
+} // namespace griffin::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the simulator.
+ */
+
+#ifndef GRIFFIN_SIM_TYPES_HH
+#define GRIFFIN_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace griffin {
+
+/** Simulated time, in GPU core cycles (the GPU clock is 1 GHz). */
+using Tick = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Virtual page number (address >> page shift). */
+using PageId = std::uint64_t;
+
+/**
+ * A device identifier. The CPU is always device 0; GPUs are numbered
+ * 1..numGpus. Using one id space keeps page-table bookkeeping and
+ * interconnect routing uniform.
+ */
+using DeviceId = std::uint32_t;
+
+/** The CPU's device id. */
+inline constexpr DeviceId cpuDeviceId = 0;
+
+/** An invalid / "no device" marker. */
+inline constexpr DeviceId invalidDeviceId = ~DeviceId(0);
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Tick maxTick = ~Tick(0);
+
+} // namespace griffin
+
+#endif // GRIFFIN_SIM_TYPES_HH

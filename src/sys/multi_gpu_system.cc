@@ -1,0 +1,259 @@
+#include "src/sys/multi_gpu_system.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/log.hh"
+
+namespace griffin::sys {
+
+double
+RunResult::maxGpuShare() const
+{
+    std::uint64_t on_gpus = 0, max_gpu = 0;
+    for (std::size_t dev = 1; dev < pagesPerDevice.size(); ++dev) {
+        on_gpus += pagesPerDevice[dev];
+        max_gpu = std::max(max_gpu, pagesPerDevice[dev]);
+    }
+    return on_gpus > 0 ? double(max_gpu) / double(on_gpus) : 0.0;
+}
+
+MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
+    : _config(config), _engine(config.maxTicks),
+      _pageTable(config.gpu.pageShift, config.numDevices()),
+      _cpuL2(config.cpuL2), _cpuDram(config.cpuDram)
+{
+    assert(config.numGpus >= 1);
+
+    _network = std::make_unique<ic::Network>(_engine,
+                                             config.numDevices(),
+                                             config.link);
+    _iommu = std::make_unique<xlat::Iommu>(_engine, *_network,
+                                           _pageTable, config.iommu);
+    _cpuRdma = std::make_unique<gpu::Rdma>(_engine, *_network,
+                                           cpuDeviceId, _cpuL2, _cpuDram,
+                                           config.gpu.lineBytes);
+
+    // GPUs (device ids 1..N).
+    for (unsigned g = 0; g < config.numGpus; ++g) {
+        _gpus.push_back(std::make_unique<gpu::Gpu>(
+            _engine, DeviceId(g + 1), config.gpu, *_network, *_iommu,
+            *this));
+    }
+
+    // Per-device PMCs share the DRAM directory.
+    std::vector<mem::Dram *> drams(config.numDevices(), nullptr);
+    drams[cpuDeviceId] = &_cpuDram;
+    for (unsigned g = 0; g < config.numGpus; ++g)
+        drams[g + 1] = &_gpus[g]->dram();
+    const std::uint64_t page_bytes =
+        std::uint64_t(1) << config.gpu.pageShift;
+    for (unsigned dev = 0; dev < config.numDevices(); ++dev) {
+        _pmcs.push_back(std::make_unique<gpu::Pmc>(
+            _engine, *_network, DeviceId(dev), drams, page_bytes));
+    }
+
+    // Driver: fault batching per the active policy (CPMS CPU->GPU
+    // half uses N_PTW; the baseline services faults one by one).
+    driver::DriverConfig dcfg;
+    dcfg.cpuFlushPenalty = config.cpuFlushPenalty;
+    if (config.policy == PolicyKind::Griffin) {
+        dcfg.faultBatchSize = config.griffin.nPtw;
+        dcfg.faultBatchWindow = config.griffin.faultBatchWindow;
+        dcfg.pinAfterMigration = false;
+    } else {
+        dcfg.faultBatchSize = 1;
+        dcfg.pinAfterMigration = true;
+    }
+    _driver = std::make_unique<driver::Driver>(_engine, _pageTable,
+                                               *_iommu,
+                                               *_pmcs[cpuDeviceId], dcfg);
+    _iommu->setFaultHandler(_driver.get());
+
+    // The policy.
+    std::vector<gpu::Gpu *> gpu_ptrs;
+    std::vector<gpu::Pmc *> pmc_ptrs;
+    for (auto &g : _gpus)
+        gpu_ptrs.push_back(g.get());
+    for (auto &p : _pmcs)
+        pmc_ptrs.push_back(p.get());
+
+    if (config.policy == PolicyKind::Griffin) {
+        auto policy = std::make_unique<core::GriffinPolicy>(
+            _engine, *_network, _pageTable, *_iommu, gpu_ptrs, pmc_ptrs,
+            config.griffin);
+        _griffinPolicy = policy.get();
+        _policy = std::move(policy);
+    } else {
+        _policy = std::make_unique<core::FirstTouchPolicy>();
+    }
+    _iommu->setPolicy(_policy.get());
+
+    _dispatcher = std::make_unique<gpu::Dispatcher>(
+        _engine, gpu_ptrs, config.dispatchLatency);
+}
+
+MultiGpuSystem::~MultiGpuSystem() = default;
+
+void
+MultiGpuSystem::remoteAccess(DeviceId requester, DeviceId owner,
+                             Addr addr, bool is_write, sim::EventFn done)
+{
+    assert(owner != requester);
+    const std::uint64_t req_bytes = is_write
+        ? ic::MessageSizes::dcaWriteRequest
+        : ic::MessageSizes::dcaReadRequest;
+
+    _network->send(requester, owner, req_bytes,
+                   [this, requester, owner, addr, is_write,
+                    done = std::move(done)]() mutable {
+        if (owner == cpuDeviceId) {
+            if (_griffinPolicy) {
+                _griffinPolicy->noteCpuDcaAccess(
+                    addr >> _config.gpu.pageShift);
+            }
+            _cpuRdma->serve(addr, is_write, requester, std::move(done));
+            return;
+        }
+        // A GPU owner also feeds the ACUD drain bookkeeping: the
+        // access occupies the page's data phase while it is in the
+        // owner's memory hierarchy.
+        gpu::Gpu *g = _gpus[owner - 1].get();
+        const PageId page = addr >> _config.gpu.pageShift;
+        g->rdma().serve(addr, is_write, requester, std::move(done),
+                        [g, page] { g->enterDataPhase(page); },
+                        [g, page] { g->leaveDataPhase(page); });
+    });
+}
+
+void
+MultiGpuSystem::setAccessProbe(gpu::Gpu::AccessProbe probe)
+{
+    for (auto &g : _gpus)
+        g->setAccessProbe(probe);
+}
+
+RunResult
+MultiGpuSystem::run(wl::Workload &workload)
+{
+    assert(!_ran && "a system instance runs one workload");
+    _ran = true;
+
+    GLOG(Info, "run: " << workload.name() << " under "
+                       << _policy->name());
+
+    _policy->onSystemStart();
+
+    // Launch the kernels back to back.
+    const unsigned num_kernels = workload.numKernels();
+    auto launch_next = std::make_shared<std::function<void(unsigned)>>();
+    *launch_next = [this, &workload, num_kernels,
+                    launch_next](unsigned k) {
+        if (k >= num_kernels) {
+            _policy->onSystemStop();
+            return;
+        }
+        _dispatcher->launchKernel(workload.makeKernel(k),
+                                  [launch_next, k] {
+                                      (*launch_next)(k + 1);
+                                  });
+    };
+    _engine.schedule(0, [launch_next] { (*launch_next)(0); });
+
+    _engine.run();
+
+    return collectResults();
+}
+
+RunResult
+MultiGpuSystem::collectResults()
+{
+    RunResult result;
+    result.cycles = _engine.now();
+
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev)
+        result.pagesPerDevice.push_back(_pageTable.residentPages(dev));
+
+    result.cpuShootdowns = _driver->cpuShootdowns;
+    result.pagesMigratedFromCpu = _driver->pagesMigratedIn;
+
+    for (auto &g : _gpus) {
+        result.gpuShootdowns += g->tlbShootdownEvents;
+        result.localAccesses += g->localAccesses;
+        result.remoteAccesses += g->remoteAccesses;
+    }
+    if (_griffinPolicy)
+        result.pagesMigratedInterGpu =
+            _griffinPolicy->executor().pagesMigrated;
+
+    // Full stat dump.
+    sim::StatSet &st = result.stats;
+    st.set("sim.cycles", double(result.cycles));
+    st.set("sim.events", double(_engine.eventsExecuted()));
+    st.set("driver.faults", double(_driver->faultsReceived));
+    st.set("driver.batches", double(_driver->batchesProcessed));
+    st.set("driver.cpuShootdowns", double(_driver->cpuShootdowns));
+    st.set("driver.pagesMigratedIn", double(_driver->pagesMigratedIn));
+    st.set("iommu.requests", double(_iommu->requests));
+    st.set("iommu.walks", double(_iommu->walks));
+    st.set("iommu.iotlbHits", double(_iommu->iotlbHits));
+    st.set("iommu.faults", double(_iommu->faultsRaised));
+    st.set("iommu.dcaRedirects", double(_iommu->dcaRedirects));
+    st.set("pageTable.migrations", double(_pageTable.migrations()));
+    st.set("pageTable.totalPages", double(_pageTable.totalPages()));
+
+    for (unsigned g = 0; g < numGpus(); ++g) {
+        auto &gp = *_gpus[g];
+        const std::string p = "gpu" + std::to_string(g + 1) + ".";
+        st.set(p + "localAccesses", double(gp.localAccesses));
+        st.set(p + "remoteAccesses", double(gp.remoteAccesses));
+        st.set(p + "xlatRequests", double(gp.xlatRequestsSent));
+        st.set(p + "shootdownEvents", double(gp.tlbShootdownEvents));
+        st.set(p + "shootdownEntries", double(gp.tlbEntriesShotDown));
+        st.set(p + "drains", double(gp.drains));
+        st.set(p + "fullFlushes", double(gp.fullFlushes));
+        st.set(p + "workgroups", double(gp.workgroupsExecuted));
+        st.set(p + "pausedCycles", double(gp.pausedCycles));
+        std::uint64_t discarded = 0, issued = 0;
+        for (unsigned cu = 0; cu < gp.numCus(); ++cu) {
+            discarded += gp.cu(cu).opsDiscarded;
+            issued += gp.cu(cu).opsIssued;
+        }
+        st.set(p + "opsDiscarded", double(discarded));
+        st.set(p + "opsIssued", double(issued));
+        st.set(p + "l2Hits", double(gp.l2().hits));
+        st.set(p + "l2Misses", double(gp.l2().misses));
+        st.set(p + "residentPages",
+               double(_pageTable.residentPages(DeviceId(g + 1))));
+        st.set(p + "rdmaReads", double(gp.rdma().readsServed));
+        st.set(p + "rdmaWrites", double(gp.rdma().writesServed));
+    }
+
+    if (_griffinPolicy) {
+        const auto &dftm = _griffinPolicy->dftm();
+        st.set("griffin.dftm.denials", double(dftm.firstTouchDenials));
+        st.set("griffin.dftm.firstTouch",
+               double(dftm.firstTouchMigrations));
+        st.set("griffin.dftm.secondTouch",
+               double(dftm.secondTouchMigrations));
+        st.set("griffin.dftm.leaseRenewals",
+               double(dftm.leaseRenewals));
+        st.set("griffin.periods", double(_griffinPolicy->periodsRun));
+        const auto &ex = _griffinPolicy->executor();
+        st.set("griffin.interGpuMigrations", double(ex.pagesMigrated));
+        st.set("griffin.migrationBatches", double(ex.batchesExecuted));
+        const auto &dpc = _griffinPolicy->dpc();
+        st.set("griffin.dpc.candidates", double(dpc.candidatesEmitted));
+        for (int c = 0; c < 5; ++c) {
+            st.set(std::string("griffin.dpc.class.") +
+                       core::pageClassName(core::PageClass(c)),
+                   double(dpc.classCounts[c]));
+        }
+    }
+
+    return result;
+}
+
+} // namespace griffin::sys

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The top-level system: 1 CPU + N GPUs on a shared fabric, a global
+ * page table, the IOMMU, the driver, the dispatcher, and the active
+ * placement policy. This is the primary entry point of the library:
+ * build a SystemConfig, build a Workload, call run().
+ */
+
+#ifndef GRIFFIN_SYS_MULTI_GPU_SYSTEM_HH
+#define GRIFFIN_SYS_MULTI_GPU_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/first_touch_policy.hh"
+#include "src/core/griffin_policy.hh"
+#include "src/driver/driver.hh"
+#include "src/gpu/dispatcher.hh"
+#include "src/gpu/gpu.hh"
+#include "src/gpu/pmc.hh"
+#include "src/gpu/rdma.hh"
+#include "src/gpu/remote.hh"
+#include "src/interconnect/switch.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/dram.hh"
+#include "src/mem/page_table.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/stats.hh"
+#include "src/sys/system_config.hh"
+#include "src/workloads/workload.hh"
+#include "src/xlat/iommu.hh"
+
+namespace griffin::sys {
+
+/** The outcome of one workload run. */
+struct RunResult
+{
+    /** Total execution time in cycles. */
+    Tick cycles = 0;
+    /** Final page residency per device (index 0 = CPU). */
+    std::vector<std::uint64_t> pagesPerDevice;
+    /** CPU-side TLB shootdowns + flushes (fault batches). */
+    std::uint64_t cpuShootdowns = 0;
+    /** GPU-side shootdown events (inter-GPU migrations). */
+    std::uint64_t gpuShootdowns = 0;
+    std::uint64_t localAccesses = 0;
+    std::uint64_t remoteAccesses = 0;
+    std::uint64_t pagesMigratedFromCpu = 0;
+    std::uint64_t pagesMigratedInterGpu = 0;
+    /** Full stat dump (per-component counters, prefixed names). */
+    sim::StatSet stats;
+
+    double
+    localFraction() const
+    {
+        const double total = double(localAccesses + remoteAccesses);
+        return total > 0 ? double(localAccesses) / total : 0.0;
+    }
+
+    std::uint64_t
+    totalShootdowns() const
+    {
+        return cpuShootdowns + gpuShootdowns;
+    }
+
+    /**
+     * Imbalance of the final GPU page distribution: the largest GPU
+     * share, in [1/numGpus .. 1].
+     */
+    double maxGpuShare() const;
+};
+
+/**
+ * The assembled multi-GPU system.
+ */
+class MultiGpuSystem : public gpu::RemoteRouter
+{
+  public:
+    explicit MultiGpuSystem(const SystemConfig &config);
+    ~MultiGpuSystem() override;
+
+    MultiGpuSystem(const MultiGpuSystem &) = delete;
+    MultiGpuSystem &operator=(const MultiGpuSystem &) = delete;
+
+    /**
+     * Run @p workload to completion (all kernels, back to back) and
+     * collect the results. May be called once per system instance.
+     */
+    RunResult run(wl::Workload &workload);
+
+    /** gpu::RemoteRouter */
+    void remoteAccess(DeviceId requester, DeviceId owner, Addr addr,
+                      bool is_write, sim::EventFn done) override;
+
+    /** @name Component access (probes, benches, tests) @{ */
+    sim::Engine &engine() { return _engine; }
+    mem::PageTable &pageTable() { return _pageTable; }
+    xlat::Iommu &iommu() { return *_iommu; }
+    driver::Driver &driver() { return *_driver; }
+    ic::Network &network() { return *_network; }
+    gpu::Gpu &gpu(unsigned idx) { return *_gpus[idx]; }
+    unsigned numGpus() const { return unsigned(_gpus.size()); }
+    gpu::Dispatcher &dispatcher() { return *_dispatcher; }
+    core::MigrationPolicy &policy() { return *_policy; }
+    /** Non-null only when the config selected Griffin. */
+    core::GriffinPolicy *griffinPolicy() { return _griffinPolicy; }
+    const SystemConfig &config() const { return _config; }
+    /** @} */
+
+    /** Install a per-access probe on every GPU (benches). */
+    void setAccessProbe(gpu::Gpu::AccessProbe probe);
+
+  private:
+    SystemConfig _config;
+    sim::Engine _engine;
+    mem::PageTable _pageTable;
+    std::unique_ptr<ic::Network> _network;
+    std::unique_ptr<xlat::Iommu> _iommu;
+    std::vector<std::unique_ptr<gpu::Gpu>> _gpus;
+    std::vector<std::unique_ptr<gpu::Pmc>> _pmcs; ///< per device
+    mem::Cache _cpuL2;
+    mem::Dram _cpuDram;
+    std::unique_ptr<gpu::Rdma> _cpuRdma;
+    std::unique_ptr<driver::Driver> _driver;
+    std::unique_ptr<gpu::Dispatcher> _dispatcher;
+    std::unique_ptr<core::MigrationPolicy> _policy;
+    core::GriffinPolicy *_griffinPolicy = nullptr;
+
+    bool _ran = false;
+
+    RunResult collectResults();
+};
+
+} // namespace griffin::sys
+
+#endif // GRIFFIN_SYS_MULTI_GPU_SYSTEM_HH

@@ -1,0 +1,111 @@
+#include "src/sys/report.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace griffin::sys {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        assert(v > 0.0 && "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+Table::Table(std::vector<std::string> header) : _header(std::move(header))
+{
+    assert(!_header.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(_header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(int(widths[c]) + 2) << cells[c];
+        }
+        os << "\n";
+    };
+    emit(_header);
+    std::string rule;
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    os << str();
+}
+
+std::string
+asciiBar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0)
+        max_value = 1.0;
+    const int filled = int(std::round(
+        std::clamp(value / max_value, 0.0, 1.0) * width));
+    std::string bar = "|";
+    bar += std::string(filled, '#');
+    bar += std::string(width - filled, '-');
+    bar += "|";
+    return bar;
+}
+
+} // namespace griffin::sys

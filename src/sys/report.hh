@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Report helpers shared by the benches: fixed-width tables, CSV
+ * emission, geometric means, and simple ASCII bar rows — everything
+ * needed to print the paper's figures as text.
+ */
+
+#ifndef GRIFFIN_SYS_REPORT_HH
+#define GRIFFIN_SYS_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace griffin::sys {
+
+/** Geometric mean of @p values (must all be > 0; empty -> 0). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * A fixed-width text table: set the header, add rows, print.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row (cells beyond the header are dropped). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Render as CSV (comma-separated, header first). */
+    std::string csv() const;
+
+    /** Print str() to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * One horizontal ASCII bar scaled to @p width characters, e.g. for
+ * occupancy or speedup figures: "MT  |######----| 1.62".
+ */
+std::string asciiBar(double value, double max_value, int width = 40);
+
+} // namespace griffin::sys
+
+#endif // GRIFFIN_SYS_REPORT_HH

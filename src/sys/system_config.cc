@@ -1,0 +1,38 @@
+#include "src/sys/system_config.hh"
+
+namespace griffin::sys {
+
+SystemConfig
+SystemConfig::baseline()
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::FirstTouch;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::griffinDefault()
+{
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::Griffin;
+    // Paper Table I was "experimentally determined to be the best set
+    // of parameters for our current multi-GPU configuration". Our
+    // configuration compresses time (scaled footprints => kernels are
+    // tens of collection periods long instead of thousands), so the
+    // filter must react faster and the streaming rate floor must sit
+    // lower; these values were tuned the same way the paper's were
+    // (see bench/abl_alpha_sweep and bench/abl_thresholds).
+    cfg.griffin.alpha = 0.25;
+    cfg.griffin.lambdaT = 0.002;
+    return cfg;
+}
+
+SystemConfig &
+SystemConfig::withHighBandwidthFabric()
+{
+    link.bytesPerCycle = 256.0; // 256 GB/s per direction
+    link.latency = 100;
+    return *this;
+}
+
+} // namespace griffin::sys

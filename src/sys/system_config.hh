@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Whole-system configuration. Defaults reproduce paper Table II:
+ * 4 AMD MI6-class GPUs (4 SEs x 9 CUs each), PCIe-v4 fabric at
+ * 32 GB/s per direction, an IOMMU with 8 page table walkers on the
+ * CPU die, and 4 KB pages.
+ */
+
+#ifndef GRIFFIN_SYS_SYSTEM_CONFIG_HH
+#define GRIFFIN_SYS_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "src/core/griffin_config.hh"
+#include "src/driver/driver.hh"
+#include "src/gpu/gpu.hh"
+#include "src/interconnect/switch.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/dram.hh"
+#include "src/sim/types.hh"
+#include "src/xlat/iommu.hh"
+
+namespace griffin::sys {
+
+/** Which placement policy the system runs. */
+enum class PolicyKind
+{
+    FirstTouch, ///< the baseline NUMA multi-GPU system
+    Griffin,    ///< the paper's proposal
+};
+
+/**
+ * Everything needed to build a MultiGpuSystem.
+ */
+struct SystemConfig
+{
+    unsigned numGpus = 4;
+    gpu::GpuConfig gpu{};
+
+    /** PCIe-v4: 32 GB/s per direction at a 1 GHz model clock. */
+    ic::LinkConfig link{32.0, 250};
+
+    xlat::IommuConfig iommu{};
+
+    /** CPU-side memory complex (DDR + a slice of CPU LLC). */
+    mem::DramConfig cpuDram{4, 120, 16.0, 256};
+    mem::CacheConfig cpuL2{8ull * 1024 * 1024, 16, 64, 20};
+
+    /** Fault-path timing shared by both policies. */
+    Tick cpuFlushPenalty = 100;
+
+    /** Workgroup dispatch serialization (GPU 1 goes first). */
+    Tick dispatchLatency = 4;
+
+    PolicyKind policy = PolicyKind::FirstTouch;
+    core::GriffinConfig griffin{};
+
+    /** Watchdog: abort runs that exceed this many cycles. */
+    Tick maxTicks = Tick(4) * 1000 * 1000 * 1000;
+
+    std::uint64_t seed = 42;
+
+    /** Total devices including the CPU. */
+    unsigned numDevices() const { return numGpus + 1; }
+
+    /** The paper's baseline configuration (Table II, first-touch). */
+    static SystemConfig baseline();
+
+    /** The paper's Griffin configuration (Tables I + II). */
+    static SystemConfig griffinDefault();
+
+    /**
+     * The Figure 13 variant: an NVLink-class fabric with 8x the
+     * bandwidth and lower latency.
+     */
+    SystemConfig &withHighBandwidthFabric();
+};
+
+} // namespace griffin::sys
+
+#endif // GRIFFIN_SYS_SYSTEM_CONFIG_HH

@@ -1,0 +1,52 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+FirWorkload::FirWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    _inLines = lines / 2;
+    _outLines = lines - _inLines;
+    _inBase = 0;
+    _outBase = _inLines * lineBytes;
+}
+
+KernelLaunch
+FirWorkload::makeKernel(unsigned k)
+{
+    // Each kernel filters one batch (a quarter of the signal).
+    const unsigned kernels = numKernels();
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t batch_lines = _inLines / kernels;
+    const std::uint64_t batch_begin = k * batch_lines;
+    const std::uint64_t slice = batch_lines / wgs;
+    constexpr std::uint64_t tap_halo = 16; ///< filter taps past the slice
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        TraceBuilder tb = builder();
+        // A 16-tap filter does substantial MAC work per transaction.
+        tb.setComputeDelay(_cfg.computeDelay * 2);
+        const std::uint64_t begin = batch_begin + w * slice;
+        const std::uint64_t end = (w + 1 == wgs)
+            ? batch_begin + batch_lines
+            : begin + slice;
+        // Sliding tap window: each output line convolves four input
+        // lines, the last of which reaches into the next workgroup's
+        // slice (the tap halo). Input lines are re-read by adjacent
+        // windows, sustaining the per-page access rate.
+        for (std::uint64_t line = begin; line < end; ++line) {
+            for (std::uint64_t t = 0; t < 4; ++t) {
+                const std::uint64_t il =
+                    std::min(line + t * (tap_halo / 4), _inLines - 1);
+                tb.add(_inBase + il * lineBytes, false);
+            }
+            tb.add(_outBase + line * lineBytes, true);
+        }
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

@@ -1,0 +1,58 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+KmWorkload::KmWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    // The centroid table is small (two pages) and hammered by every
+    // workgroup each iteration: the canonical Shared pages.
+    _centroidLines = 128;
+    _assignLines = lines / 8;
+    _pointLines = lines - _centroidLines - _assignLines;
+    _pointsBase = 0;
+    _centroidsBase = _pointLines * lineBytes;
+    _assignBase = (_pointLines + _centroidLines) * lineBytes;
+}
+
+KernelLaunch
+KmWorkload::makeKernel(unsigned k)
+{
+    (void)k; // every iteration touches the same partitions
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t part = _pointLines / wgs;
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        TraceBuilder tb = builder();
+
+        // The workgroup's own point partition (Partition pattern:
+        // dedicated pages, same owner every iteration), with the
+        // shared centroid table re-read throughout the sweep so the
+        // centroid pages stay hot for the whole kernel.
+        const std::uint64_t begin = w * part;
+        const std::uint64_t end =
+            (w + 1 == wgs) ? _pointLines : begin + part;
+        for (std::uint64_t line = begin; line < end; ++line) {
+            tb.add(_pointsBase + line * lineBytes, false);
+            if (line % 4 == 0) {
+                // Distance computation against a batch of centroids.
+                const std::uint64_t cl =
+                    ((line - begin) / 4 * 8) % _centroidLines;
+                for (std::uint64_t c = 0; c < 4; ++c)
+                    tb.add(_centroidsBase +
+                               ((cl + c) % _centroidLines) * lineBytes,
+                           false);
+            }
+            if (line % 8 == 0) {
+                const std::uint64_t al = (line / 8) % _assignLines;
+                tb.add(_assignBase + al * lineBytes, true);
+            }
+        }
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

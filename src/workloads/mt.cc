@@ -1,0 +1,54 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+MtWorkload::MtWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    _inLines = lines / 2;
+    _outLines = lines - _inLines;
+    _inBase = 0;
+    _outBase = _inLines * lineBytes;
+}
+
+KernelLaunch
+MtWorkload::makeKernel(unsigned k)
+{
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t band = _inLines / wgs;
+    // Kernel 1 transposes back (out -> in), exercising the same
+    // scatter-gather in the opposite direction.
+    const bool forward = (k % 2 == 0);
+    const Addr src = forward ? _inBase : _outBase;
+    const Addr dst = forward ? _outBase : _inBase;
+    const std::uint64_t dst_lines = forward ? _outLines : _inLines;
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        TraceBuilder tb = builder();
+        const std::uint64_t begin = w * band;
+        const std::uint64_t end = (w + 1 == wgs) ? _inLines : begin + band;
+        const std::uint64_t len = end - begin;
+        // Workgroups start their sweep at staggered offsets (they
+        // transpose independent tiles), so at any instant different
+        // workgroups scatter into different destination pages.
+        const std::uint64_t stagger = (std::uint64_t(w) * 13) % len;
+        for (std::uint64_t j = 0; j < len; ++j) {
+            const std::uint64_t line = begin + (j + stagger) % len;
+            // Gather: read of the row band (each input line touched
+            // exactly once in the whole kernel).
+            tb.add(src + line * lineBytes, false);
+            // Scatter: the transposed line lands at a column-major
+            // position, interleaving every workgroup's writes across
+            // all destination pages.
+            const std::uint64_t out_line =
+                ((line - begin) * wgs + w) % dst_lines;
+            tb.add(dst + out_line * lineBytes, true);
+        }
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

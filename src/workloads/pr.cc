@@ -1,0 +1,72 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+PrWorkload::PrWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    _rankLines = lines / 10;
+    _colLines = lines - 2 * _rankLines;
+    _rankABase = 0;
+    _rankBBase = _rankLines * lineBytes;
+    _colsBase = 2 * _rankLines * lineBytes;
+}
+
+KernelLaunch
+PrWorkload::makeKernel(unsigned k)
+{
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t chunk = _rankLines / wgs;
+    // Ping-pong the rank buffers each iteration.
+    const Addr old_ranks = (k % 2 == 0) ? _rankABase : _rankBBase;
+    const Addr new_ranks = (k % 2 == 0) ? _rankBBase : _rankABase;
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        // The workgroup streams its own edge-list region (stable
+        // mapping, correctly placed after the first iteration). The
+        // irregularity is in the *pulls*: each vertex group pulls a
+        // burst of in-neighbour ranks from a random page of the rank
+        // array. A burst is hot for a couple of collection periods —
+        // long enough for the DPC to classify the page as dedicated
+        // to the puller, but cold again before the migration lands.
+        // Every iteration re-randomizes the bursts, so Griffin keeps
+        // migrating rank pages after the fact and never profits: the
+        // paper's explanation for PageRank's slowdown.
+        sim::Rng rng = rngFor(k, w);
+        TraceBuilder tb = builder();
+
+        const std::uint64_t col_region = _colLines / wgs;
+        const std::uint64_t col_begin = w * col_region;
+        const std::uint64_t col_end =
+            (w + 1 == wgs) ? _colLines : col_begin + col_region;
+        const std::uint64_t begin = w * chunk;
+        const std::uint64_t end =
+            (w + 1 == wgs) ? _rankLines : begin + chunk;
+
+        std::uint64_t rank_cursor = begin;
+        for (std::uint64_t cl = col_begin; cl < col_end; ++cl) {
+            tb.add(_colsBase + cl * lineBytes, false);
+            if ((cl - col_begin) % 12 == 0) {
+                // In-neighbour pull burst: 24 lines of one random
+                // rank page.
+                const std::uint64_t base =
+                    rng.nextBelow(std::max<std::uint64_t>(
+                        _rankLines - 24, 1));
+                for (std::uint64_t b = 0; b < 24; ++b)
+                    tb.add(old_ranks + (base + b) * lineBytes, false);
+            }
+            if ((cl - col_begin) % 4 == 0 && rank_cursor < end)
+                tb.add(old_ranks + rank_cursor * lineBytes, false);
+            if ((cl - col_begin) % 16 == 0 && rank_cursor < end) {
+                tb.add(new_ranks + rank_cursor * lineBytes, true);
+                ++rank_cursor;
+            }
+        }
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

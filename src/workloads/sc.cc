@@ -1,0 +1,66 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+ScWorkload::ScWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    // One filter page + two image buffers.
+    _imgLines = (lines - 64) / 2;
+    _filterBase = 0;
+    _inBase = 64 * lineBytes;
+    _outBase = _inBase + _imgLines * lineBytes;
+}
+
+PageId
+ScWorkload::filterPage(unsigned page_shift) const
+{
+    return _filterBase >> page_shift;
+}
+
+KernelLaunch
+ScWorkload::makeKernel(unsigned k)
+{
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t tile = _imgLines / wgs;
+    constexpr std::uint64_t halo = 8; ///< rows from the next tile
+    // Successive passes alternate the image buffers.
+    const Addr src = (k % 2 == 0) ? _inBase : _outBase;
+    const Addr dst = (k % 2 == 0) ? _outBase : _inBase;
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        TraceBuilder tb = builder();
+
+        // Because 61 workgroups % 4 GPUs != 0, the dispatcher cursor
+        // rotates this tile to a different GPU every kernel — the
+        // tile pages' dominant accessor shifts over time (the paper's
+        // Figure 1/10 behaviour).
+        const std::uint64_t begin = w * tile;
+        const std::uint64_t end =
+            (w + 1 == wgs) ? _imgLines : begin + tile;
+        for (std::uint64_t line = begin; line < end; ++line) {
+            // The filter coefficients are re-read throughout the
+            // tile sweep: page 0 stays hot for the whole kernel.
+            if ((line - begin) % 32 == 0) {
+                const std::uint64_t fl = ((line - begin) / 32) % 8;
+                tb.add(_filterBase + fl * lineBytes, false);
+            }
+            // 3-row convolution window: each source line is read by
+            // three neighbouring output rows, so tile pages sustain
+            // a high post-coalescing access rate while in the window.
+            for (std::uint64_t d = 0; d < 3; ++d) {
+                const std::uint64_t sl =
+                    std::min(line + d, std::min(end + halo, _imgLines) - 1);
+                tb.add(src + sl * lineBytes, false);
+            }
+            tb.add(dst + line * lineBytes, true);
+        }
+
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

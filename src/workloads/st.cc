@@ -1,0 +1,52 @@
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+StWorkload::StWorkload(const WorkloadConfig &cfg) : Workload(cfg)
+{
+    const std::uint64_t lines = footprintBytes() / lineBytes;
+    _gridLines = lines / 2;
+    _aBase = 0;
+    _bBase = _gridLines * lineBytes;
+}
+
+KernelLaunch
+StWorkload::makeKernel(unsigned k)
+{
+    const unsigned wgs = workgroupsPerKernel();
+    const std::uint64_t band = _gridLines / wgs;
+    constexpr std::uint64_t halo = 16; ///< boundary rows per neighbour
+    // Ping-pong: even iterations read A write B, odd the reverse.
+    const Addr src = (k % 2 == 0) ? _aBase : _bBase;
+    const Addr dst = (k % 2 == 0) ? _bBase : _aBase;
+
+    KernelLaunch launch;
+    launch.workgroups.reserve(wgs);
+    for (unsigned w = 0; w < wgs; ++w) {
+        TraceBuilder tb = builder();
+
+        const std::uint64_t begin = w * band;
+        const std::uint64_t end =
+            (w + 1 == wgs) ? _gridLines : begin + band;
+
+        // 5-point stencil over rows: each output row reads the row
+        // above (halo at the band edge — a neighbouring workgroup's
+        // pages, usually a neighbouring GPU's), itself, and the row
+        // below. Each source line is therefore read three times over
+        // the sweep, keeping the band pages hot.
+        for (std::uint64_t line = begin; line < end; ++line) {
+            const std::uint64_t up = (line >= halo) ? line - halo : 0;
+            const std::uint64_t down =
+                std::min(line + halo, _gridLines - 1);
+            tb.add(src + up * lineBytes, false);
+            tb.add(src + line * lineBytes, false);
+            tb.add(src + down * lineBytes, false);
+            tb.add(dst + line * lineBytes, true);
+        }
+
+        launch.workgroups.push_back(tb.finishWorkgroup(w));
+    }
+    return launch;
+}
+
+} // namespace griffin::wl

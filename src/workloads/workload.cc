@@ -1,0 +1,39 @@
+#include "src/workloads/workload.hh"
+
+#include "src/workloads/suite.hh"
+
+namespace griffin::wl {
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"BFS", "BS", "FIR", "FLW", "FW", "KM", "MT", "PR", "SC", "ST"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &abbv, const WorkloadConfig &cfg)
+{
+    if (abbv == "BFS")
+        return std::make_unique<BfsWorkload>(cfg);
+    if (abbv == "BS")
+        return std::make_unique<BsWorkload>(cfg);
+    if (abbv == "FIR")
+        return std::make_unique<FirWorkload>(cfg);
+    if (abbv == "FLW")
+        return std::make_unique<FlwWorkload>(cfg);
+    if (abbv == "FW")
+        return std::make_unique<FwWorkload>(cfg);
+    if (abbv == "KM")
+        return std::make_unique<KmWorkload>(cfg);
+    if (abbv == "MT")
+        return std::make_unique<MtWorkload>(cfg);
+    if (abbv == "PR")
+        return std::make_unique<PrWorkload>(cfg);
+    if (abbv == "SC")
+        return std::make_unique<ScWorkload>(cfg);
+    if (abbv == "ST")
+        return std::make_unique<StWorkload>(cfg);
+    return nullptr;
+}
+
+} // namespace griffin::wl

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Workload abstraction: a deterministic generator of kernel launches
+ * (paper Table III lists the ten evaluated applications).
+ *
+ * Each workload reproduces the *memory access pattern* of its paper
+ * counterpart — the property that determines page migration behaviour
+ * — at a configurable fraction of the paper's memory footprint
+ * (scaleDiv = 1 restores the full 30-64 MB sizes).
+ */
+
+#ifndef GRIFFIN_WORKLOADS_WORKLOAD_HH
+#define GRIFFIN_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+#include "src/workloads/trace.hh"
+
+namespace griffin::wl {
+
+/** Generation parameters shared by all workloads. */
+struct WorkloadConfig
+{
+    /** Footprint divisor relative to the paper (1 = paper-sized). */
+    unsigned scaleDiv = 8;
+    /** Master seed; all randomness derives deterministically. */
+    std::uint64_t seed = 42;
+    /** Transactions per wavefront. */
+    std::size_t opsPerWavefront = 64;
+    /** Default compute cycles between transactions. */
+    std::uint32_t computeDelay = 8;
+    /** Concurrent wavefronts per workgroup (memory-level parallelism). */
+    std::size_t wavefrontsPerWorkgroup = 16;
+};
+
+/**
+ * Base class of the ten benchmark generators.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &cfg) : _cfg(cfg) {}
+    virtual ~Workload() = default;
+
+    /** Table III abbreviation ("BFS", "SC", ...). */
+    virtual std::string name() const = 0;
+    /** Full application name. */
+    virtual std::string fullName() const = 0;
+    /** Originating benchmark suite. */
+    virtual std::string suite() const = 0;
+    /** Table III access-pattern label. */
+    virtual std::string accessPattern() const = 0;
+    /** Unscaled (paper) memory footprint in bytes. */
+    virtual std::uint64_t paperFootprintBytes() const = 0;
+    /** Kernel launches in the program. */
+    virtual unsigned numKernels() const = 0;
+    /** Workgroups per kernel launch. */
+    virtual unsigned workgroupsPerKernel() const = 0;
+
+    /** Generate kernel @p k (deterministic for a given seed). */
+    virtual KernelLaunch makeKernel(unsigned k) = 0;
+
+    /** Scaled footprint actually generated. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return paperFootprintBytes() / _cfg.scaleDiv;
+    }
+
+    const WorkloadConfig &config() const { return _cfg; }
+
+  protected:
+    WorkloadConfig _cfg;
+    static constexpr unsigned lineBytes = 64;
+
+    /** Independent deterministic stream per (kernel, workgroup). */
+    sim::Rng
+    rngFor(unsigned kernel, unsigned wg) const
+    {
+        return sim::Rng(_cfg.seed * 0x9e3779b97f4a7c15ULL +
+                        std::uint64_t(kernel) * 1000003ULL +
+                        std::uint64_t(wg) * 10007ULL + 1);
+    }
+
+    TraceBuilder
+    builder() const
+    {
+        return TraceBuilder(_cfg.opsPerWavefront, _cfg.computeDelay,
+                            _cfg.wavefrontsPerWorkgroup);
+    }
+};
+
+/** The ten Table III abbreviations, in the paper's order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Factory keyed by abbreviation (case-sensitive, e.g. "BFS").
+ * @return nullptr for an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &abbv,
+                                       const WorkloadConfig &cfg);
+
+} // namespace griffin::wl
+
+#endif // GRIFFIN_WORKLOADS_WORKLOAD_HH

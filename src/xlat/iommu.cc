@@ -1,0 +1,149 @@
+#include "src/xlat/iommu.hh"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/log.hh"
+
+namespace griffin::xlat {
+
+Iommu::Iommu(sim::Engine &engine, ic::Network &network, mem::PageTable &pt,
+             const IommuConfig &config)
+    : _engine(engine), _network(network), _pageTable(pt), _config(config),
+      _iotlb(config.iotlb)
+{
+    assert(config.numWalkers > 0);
+}
+
+void
+Iommu::request(DeviceId requester, PageId page, bool is_write, XlatDone done)
+{
+    assert(_policy && _faultHandler &&
+           "policy and fault handler must be installed first");
+    ++requests;
+
+    Request req{requester, page, is_write, std::move(done)};
+
+    // IOTLB probe first; a hit skips the walk entirely.
+    _engine.schedule(_iotlb.latency(), [this, req = std::move(req)]() mutable {
+        // A page under migration must park even on what would be an
+        // IOTLB hit; blockPage() purges the entry, so a lookup hit
+        // implies the page is stable.
+        if (auto loc = _iotlb.lookup(req.page)) {
+            ++iotlbHits;
+            reply(req, XlatReply{*loc, *loc == req.requester});
+            return;
+        }
+        // Coalesce with a queued or in-flight walk of the same page:
+        // the walkers resolve a page once, however many requesters
+        // pile up behind it (this matters after a migration, when
+        // every wavefront of every GPU re-faults the page at once).
+        auto [it, first] = _walkWaiters.try_emplace(req.page);
+        it->second.push_back(std::move(req));
+        if (first) {
+            _walkQueue.push_back(it->first);
+            startWalks();
+        } else {
+            ++walksCoalesced;
+        }
+    });
+}
+
+void
+Iommu::startWalks()
+{
+    while (_busyWalkers < _config.numWalkers && !_walkQueue.empty()) {
+        const PageId page = _walkQueue.front();
+        _walkQueue.pop_front();
+        ++_busyWalkers;
+        ++walks;
+        _engine.schedule(_config.walkLatency,
+                         [this, page] { finishWalk(page); });
+    }
+}
+
+void
+Iommu::finishWalk(PageId page)
+{
+    assert(_busyWalkers > 0);
+    --_busyWalkers;
+    startWalks();
+
+    auto it = _walkWaiters.find(page);
+    assert(it != _walkWaiters.end());
+    std::vector<Request> waiters = std::move(it->second);
+    _walkWaiters.erase(it);
+    for (auto &req : waiters)
+        resolve(std::move(req));
+}
+
+void
+Iommu::resolve(Request req)
+{
+    mem::PageInfo &pi = _pageTable.info(req.page);
+
+    if (pi.migrating) {
+        ++parkedRequests;
+        _parked[req.page].push_back(std::move(req));
+        return;
+    }
+
+    if (pi.location == cpuDeviceId) {
+        const auto decision =
+            _policy->onCpuResidentAccess(req.requester, req.page, _pageTable);
+        if (decision.migrate) {
+            ++faultsRaised;
+            pi.migrating = true;
+            const DeviceId requester = req.requester;
+            const PageId page = req.page;
+            _parked[page].push_back(std::move(req));
+            GLOG(Trace, "iommu: fault page " << page << " -> gpu "
+                                             << requester);
+            _faultHandler->onPageFault(requester, page);
+        } else {
+            ++dcaRedirects;
+            // DCA to CPU memory: translation is never cacheable, so
+            // the policy sees the next access too (second touch).
+            reply(req, XlatReply{cpuDeviceId, false});
+        }
+        return;
+    }
+
+    // GPU-resident page: cache it in the IOTLB and answer. The GPU
+    // may cache the translation only if the page is local to it.
+    _iotlb.fill(req.page, pi.location);
+    reply(req, XlatReply{pi.location, pi.location == req.requester});
+}
+
+void
+Iommu::reply(const Request &req, XlatReply rep)
+{
+    auto done = req.done;
+    _network.send(cpuDeviceId, req.requester, ic::MessageSizes::xlatReply,
+                  [done = std::move(done), rep] { done(rep); });
+}
+
+void
+Iommu::blockPage(PageId page)
+{
+    _pageTable.info(page).migrating = true;
+    _iotlb.invalidatePage(page);
+}
+
+void
+Iommu::onMigrationDone(PageId page)
+{
+    assert(!_pageTable.info(page).migrating &&
+           "page table must be updated before onMigrationDone");
+    _iotlb.invalidatePage(page);
+
+    auto it = _parked.find(page);
+    if (it == _parked.end())
+        return;
+    std::vector<Request> waiters = std::move(it->second);
+    _parked.erase(it);
+    for (auto &req : waiters)
+        resolve(std::move(req));
+}
+
+} // namespace griffin::xlat

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The IOMMU: the CPU-side translation agent every GPU L2-TLB miss is
+ * forwarded to (paper SS II-B, Figures 3-5).
+ *
+ * It owns a pool of multi-threaded page table walkers (8 in the
+ * paper's configuration), an IOTLB that short-circuits walks for
+ * GPU-resident pages, and the fault path: walks that resolve to a
+ * CPU-resident page are handed to the installed MigrationPolicy,
+ * which either triggers demand paging (the request parks until the
+ * driver completes the migration) or redirects the access to CPU
+ * memory via DCA.
+ *
+ * CPU-resident pages are deliberately *not* cached in the IOTLB: the
+ * policy must observe every access to them, which is how DFTM detects
+ * the second touch (SS III-A).
+ */
+
+#ifndef GRIFFIN_XLAT_IOMMU_HH
+#define GRIFFIN_XLAT_IOMMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/migration_policy.hh"
+#include "src/interconnect/switch.hh"
+#include "src/mem/page_table.hh"
+#include "src/sim/engine.hh"
+#include "src/sim/types.hh"
+#include "src/xlat/fault_handler.hh"
+#include "src/xlat/tlb.hh"
+
+namespace griffin::xlat {
+
+/** IOMMU parameters (paper Table II: 8 page table walkers). */
+struct IommuConfig
+{
+    unsigned numWalkers = 8;
+    /** Full four-level walk out of CPU caches/DRAM. */
+    Tick walkLatency = 300;
+    TlbConfig iotlb{256, 16, 8};
+};
+
+/** Answer to a translation request. */
+struct XlatReply
+{
+    DeviceId location = cpuDeviceId;
+    /** May the GPU cache this translation in its TLBs? */
+    bool cacheable = false;
+};
+
+using XlatDone = std::function<void(XlatReply)>;
+
+/**
+ * The IOMMU model.
+ */
+class Iommu
+{
+  public:
+    Iommu(sim::Engine &engine, ic::Network &network, mem::PageTable &pt,
+          const IommuConfig &config);
+
+    /** Install the placement policy (required before requests). */
+    void setPolicy(core::MigrationPolicy *policy) { _policy = policy; }
+
+    /** Install the fault receiver (required before requests). */
+    void setFaultHandler(FaultHandler *handler) { _faultHandler = handler; }
+
+    /**
+     * A translation request has arrived at the IOMMU (the requester
+     * already paid the fabric crossing). The reply is sent back over
+     * the fabric; @p done runs at the requester.
+     */
+    void request(DeviceId requester, PageId page, bool is_write,
+                 XlatDone done);
+
+    /**
+     * Mark @p page as under migration: new and parked requests wait
+     * until onMigrationDone(). Also purges the IOTLB entry.
+     */
+    void blockPage(PageId page);
+
+    /**
+     * The driver finished migrating @p page (the page table already
+     * points at the new location): replay parked requests.
+     */
+    void onMigrationDone(PageId page);
+
+    /** Drop a (possibly stale) IOTLB entry for @p page. */
+    void invalidateIotlb(PageId page) { _iotlb.invalidatePage(page); }
+
+    /**
+     * Cache a CPU-resident translation in the IOTLB. Normally the
+     * IOMMU refuses to do this so the policy observes every touch of
+     * a CPU page; DFTM uses it during a denial lease so the first
+     * sweep streams via DCA without walking per access. The policy
+     * must invalidate the entry when the lease expires.
+     */
+    void cacheCpuResident(PageId page) { _iotlb.fill(page, cpuDeviceId); }
+
+    const Tlb &iotlb() const { return _iotlb; }
+
+    /** Pending + in-service walk count (for CPMS batching heuristics). */
+    unsigned
+    activeWalks() const
+    {
+        return _busyWalkers + unsigned(_walkQueue.size());
+    }
+
+    /** @name Statistics @{ */
+    std::uint64_t requests = 0;
+    std::uint64_t iotlbHits = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t walksCoalesced = 0; ///< joined an in-flight walk
+    std::uint64_t faultsRaised = 0;
+    std::uint64_t dcaRedirects = 0;     ///< CPU-resident, served remotely
+    std::uint64_t parkedRequests = 0;   ///< waited on an ongoing migration
+    /** @} */
+
+  private:
+    struct Request
+    {
+        DeviceId requester;
+        PageId page;
+        bool isWrite;
+        XlatDone done;
+    };
+
+    sim::Engine &_engine;
+    ic::Network &_network;
+    mem::PageTable &_pageTable;
+    IommuConfig _config;
+    Tlb _iotlb;
+
+    core::MigrationPolicy *_policy = nullptr;
+    FaultHandler *_faultHandler = nullptr;
+
+    /** Pages queued for a walk, FCFS; waiters held in _walkWaiters. */
+    std::deque<PageId> _walkQueue;
+    /** Requests waiting on a queued or in-flight walk, per page. */
+    std::unordered_map<PageId, std::vector<Request>> _walkWaiters;
+    unsigned _busyWalkers = 0;
+    std::unordered_map<PageId, std::vector<Request>> _parked;
+
+    void startWalks();
+    void finishWalk(PageId page);
+    void resolve(Request req);
+    void reply(const Request &req, XlatReply rep);
+};
+
+} // namespace griffin::xlat
+
+#endif // GRIFFIN_XLAT_IOMMU_HH

@@ -1,0 +1,111 @@
+#include "src/xlat/tlb.hh"
+
+#include <cassert>
+
+namespace griffin::xlat {
+
+Tlb::Tlb(const TlbConfig &config) : _config(config)
+{
+    assert(config.numSets > 0 && config.assoc > 0);
+    _entries.resize(std::size_t(config.numSets) * config.assoc);
+}
+
+Tlb::Entry *
+Tlb::findEntry(PageId page)
+{
+    Entry *set = &_entries[std::size_t(setIndex(page)) * _config.assoc];
+    for (unsigned way = 0; way < _config.assoc; ++way) {
+        if (set[way].valid && set[way].page == page)
+            return &set[way];
+    }
+    return nullptr;
+}
+
+const Tlb::Entry *
+Tlb::findEntry(PageId page) const
+{
+    return const_cast<Tlb *>(this)->findEntry(page);
+}
+
+std::optional<DeviceId>
+Tlb::lookup(PageId page)
+{
+    ++_useClock;
+    if (Entry *entry = findEntry(page)) {
+        ++hits;
+        entry->lastUse = _useClock;
+        return entry->location;
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+bool
+Tlb::probe(PageId page) const
+{
+    return findEntry(page) != nullptr;
+}
+
+void
+Tlb::fill(PageId page, DeviceId location)
+{
+    ++_useClock;
+    ++fills;
+
+    if (Entry *entry = findEntry(page)) {
+        entry->location = location;
+        entry->lastUse = _useClock;
+        return;
+    }
+
+    Entry *set = &_entries[std::size_t(setIndex(page)) * _config.assoc];
+    Entry *victim = &set[0];
+    for (unsigned way = 0; way < _config.assoc; ++way) {
+        if (!set[way].valid) {
+            victim = &set[way];
+            break;
+        }
+        if (set[way].lastUse < victim->lastUse)
+            victim = &set[way];
+    }
+    victim->page = page;
+    victim->location = location;
+    victim->valid = true;
+    victim->lastUse = _useClock;
+}
+
+bool
+Tlb::invalidatePage(PageId page)
+{
+    if (Entry *entry = findEntry(page)) {
+        entry->valid = false;
+        ++invalidations;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Tlb::invalidateAll()
+{
+    std::uint64_t count = 0;
+    for (Entry &entry : _entries) {
+        if (entry.valid) {
+            entry.valid = false;
+            ++count;
+        }
+    }
+    invalidations += count;
+    return count;
+}
+
+std::uint64_t
+Tlb::validEntries() const
+{
+    std::uint64_t count = 0;
+    for (const Entry &entry : _entries)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace griffin::xlat

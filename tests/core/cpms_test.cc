@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for core::Cpms: grouping by source GPU, the per-phase
+ * caps on pages and drained GPUs, and source prioritization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/cpms.hh"
+
+using namespace griffin;
+using core::Cpms;
+using core::MigrationCandidate;
+using core::PageClass;
+
+namespace {
+
+MigrationCandidate
+cand(PageId page, DeviceId from, DeviceId to, double score = 10.0)
+{
+    return MigrationCandidate{page, from, to,
+                              PageClass::MostlyDedicated, score};
+}
+
+} // namespace
+
+TEST(Cpms, GroupsBySourceGpu)
+{
+    Cpms cpms(64, 4);
+    const auto batches = cpms.schedule({cand(1, 1, 2), cand(2, 1, 3),
+                                        cand(3, 2, 1)});
+    ASSERT_EQ(batches.size(), 2u);
+    // Source 1 has more candidates: drained first.
+    EXPECT_EQ(batches[0].source, 1u);
+    EXPECT_EQ(batches[0].moves.size(), 2u);
+    EXPECT_EQ(batches[1].source, 2u);
+}
+
+TEST(Cpms, EmptyInputYieldsNoBatches)
+{
+    Cpms cpms(64, 4);
+    EXPECT_TRUE(cpms.schedule({}).empty());
+}
+
+TEST(Cpms, PageCapTruncates)
+{
+    Cpms cpms(3, 4);
+    std::vector<MigrationCandidate> cands;
+    for (PageId p = 0; p < 10; ++p)
+        cands.push_back(cand(p, 1, 2));
+    const auto batches = cpms.schedule(cands);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].moves.size(), 3u);
+    EXPECT_EQ(cpms.pagesScheduled, 3u);
+    EXPECT_EQ(cpms.pagesDeferred, 7u);
+}
+
+TEST(Cpms, SourceCapLimitsDrains)
+{
+    Cpms cpms(64, 2);
+    const auto batches = cpms.schedule({cand(1, 1, 2), cand(2, 2, 3),
+                                        cand(3, 3, 4), cand(4, 4, 1)});
+    EXPECT_EQ(batches.size(), 2u);
+}
+
+TEST(Cpms, BiggestSourceFirst)
+{
+    Cpms cpms(64, 1);
+    const auto batches = cpms.schedule(
+        {cand(1, 1, 2), cand(2, 3, 2), cand(3, 3, 2), cand(4, 3, 1)});
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].source, 3u);
+    EXPECT_EQ(batches[0].moves.size(), 3u);
+}
+
+TEST(Cpms, PreservesCallerScoreOrderWithinSource)
+{
+    Cpms cpms(2, 4);
+    // Caller passes score-sorted candidates; the cap keeps the top 2.
+    const auto batches = cpms.schedule(
+        {cand(1, 1, 2, 90.0), cand(2, 1, 3, 50.0), cand(3, 1, 4, 10.0)});
+    ASSERT_EQ(batches.size(), 1u);
+    ASSERT_EQ(batches[0].moves.size(), 2u);
+    EXPECT_EQ(batches[0].moves[0].page, 1u);
+    EXPECT_EQ(batches[0].moves[1].page, 2u);
+}
+
+TEST(Cpms, StatsAccumulateAcrossPhases)
+{
+    Cpms cpms(64, 4);
+    cpms.schedule({cand(1, 1, 2)});
+    cpms.schedule({cand(2, 2, 1)});
+    EXPECT_EQ(cpms.phases, 2u);
+    EXPECT_EQ(cpms.batchesEmitted, 2u);
+    EXPECT_EQ(cpms.pagesScheduled, 2u);
+}

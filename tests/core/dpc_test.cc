@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for core::Dpc: the EWMA filter, each of the five page
+ * classes, candidate selection and garbage collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/dpc.hh"
+
+using namespace griffin;
+using core::Dpc;
+using core::GriffinConfig;
+using core::MigrationCandidate;
+using core::PageClass;
+
+namespace {
+
+GriffinConfig
+testConfig()
+{
+    GriffinConfig cfg;
+    cfg.alpha = 0.5; // fast filter: tests converge in a few periods
+    cfg.lambdaD = 2.0;
+    cfg.lambdaS = 1.3;
+    cfg.lambdaT = 0.002; // 2 accesses per 1000-cycle period
+    cfg.tAc = 1000;
+    return cfg;
+}
+
+void
+feed(Dpc &dpc, PageId page, std::vector<std::uint32_t> per_gpu)
+{
+    for (DeviceId g = 1; g <= DeviceId(per_gpu.size()); ++g) {
+        if (per_gpu[g - 1] > 0)
+            dpc.addCounts(g, {gpu::PageCount{page, per_gpu[g - 1]}});
+    }
+}
+
+} // namespace
+
+TEST(Dpc, EwmaConvergesTowardRawCounts)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    for (int i = 0; i < 8; ++i) {
+        feed(dpc, 1, {100, 0, 0, 0});
+        dpc.endPeriod(pt);
+    }
+    const auto counts = dpc.filteredCounts(1);
+    EXPECT_NEAR(counts[0], 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(counts[1], 0.0);
+}
+
+TEST(Dpc, UnreportedPagesDecay)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    feed(dpc, 1, {100, 0, 0, 0});
+    dpc.endPeriod(pt);
+    const double after_one = dpc.filteredCounts(1)[0];
+    dpc.endPeriod(pt); // no report: N = 0
+    EXPECT_LT(dpc.filteredCounts(1)[0], after_one);
+}
+
+TEST(Dpc, DeadPagesAreGarbageCollected)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    feed(dpc, 1, {10, 0, 0, 0});
+    dpc.endPeriod(pt);
+    EXPECT_EQ(dpc.trackedPages(), 1u);
+    for (int i = 0; i < 40; ++i)
+        dpc.endPeriod(pt);
+    EXPECT_EQ(dpc.trackedPages(), 0u);
+}
+
+TEST(Dpc, StreamingClassForLowRates)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    feed(dpc, 1, {1, 0, 0, 0}); // below lambda_t * tAc = 2
+    const auto cands = dpc.endPeriod(pt);
+    EXPECT_EQ(dpc.classify(1, 1), PageClass::Streaming);
+    EXPECT_TRUE(cands.empty());
+}
+
+TEST(Dpc, MostlyDedicatedMigratesToTheDominantGpu)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1); // lives on GPU 1...
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {0, 0, 80, 0}); // ...but GPU 3 hammers it
+        cands = dpc.endPeriod(pt);
+    }
+    EXPECT_EQ(dpc.classify(1, 1), PageClass::MostlyDedicated);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].page, 1u);
+    EXPECT_EQ(cands[0].from, 1u);
+    EXPECT_EQ(cands[0].to, 3u);
+}
+
+TEST(Dpc, DedicatedOnTheRightGpuStaysPut)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 3);
+    feed(dpc, 1, {0, 0, 80, 0});
+    const auto cands = dpc.endPeriod(pt);
+    EXPECT_EQ(dpc.classify(1, 3), PageClass::MostlyDedicated);
+    EXPECT_TRUE(cands.empty());
+}
+
+TEST(Dpc, SharedFlatDistributionOnWarmOwnerStays)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 2);
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {60, 55, 58, 52});
+        cands = dpc.endPeriod(pt);
+    }
+    EXPECT_EQ(dpc.classify(1, 2), PageClass::Shared);
+    EXPECT_TRUE(cands.empty()); // not worth the overhead
+}
+
+TEST(Dpc, SharedPageOnColdOwnerMigrates)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 4); // owner barely accesses it
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {60, 55, 58, 5});
+        cands = dpc.endPeriod(pt);
+    }
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(cands[0].from, 4u);
+    EXPECT_EQ(cands[0].to, 1u);
+}
+
+TEST(Dpc, OwnerShiftingDetectsTheHandover)
+{
+    GriffinConfig cfg = testConfig();
+    cfg.lambdaD = 10.0; // keep "dedicated" out of the way
+    cfg.lambdaS = 1.01; // and "shared" too
+    Dpc dpc(4, cfg);
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    // Warm up GPU 1 as the owner...
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {100, 40, 0, 0});
+        dpc.endPeriod(pt);
+    }
+    // ...then GPU 2 takes over while GPU 1 cools.
+    feed(dpc, 1, {10, 90, 0, 0});
+    const auto cands = dpc.endPeriod(pt);
+    EXPECT_EQ(dpc.classify(1, 1), PageClass::OwnerShifting);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_EQ(cands[0].to, 2u);
+    EXPECT_EQ(cands[0].reason, PageClass::OwnerShifting);
+}
+
+TEST(Dpc, CpuResidentPagesAreNotCandidates)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.info(1); // CPU resident
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {0, 0, 80, 0});
+        cands = dpc.endPeriod(pt);
+    }
+    EXPECT_TRUE(cands.empty());
+}
+
+TEST(Dpc, MigratingAndPendingPagesAreSkipped)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    pt.info(1).migrationPending = true;
+    for (int i = 0; i < 6; ++i)
+        feed(dpc, 1, {0, 0, 80, 0});
+    EXPECT_TRUE(dpc.endPeriod(pt).empty());
+}
+
+TEST(Dpc, PinnedPagesNeverMove)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    pt.info(1).pinned = true;
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {0, 0, 80, 0});
+        cands = dpc.endPeriod(pt);
+    }
+    EXPECT_TRUE(cands.empty());
+}
+
+TEST(Dpc, CandidatesSortedByScore)
+{
+    Dpc dpc(4, testConfig());
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    pt.setLocation(2, 1);
+    std::vector<MigrationCandidate> cands;
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {0, 40, 0, 0});
+        feed(dpc, 2, {0, 0, 90, 0});
+        cands = dpc.endPeriod(pt);
+    }
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(cands[0].page, 2u); // higher score first
+    EXPECT_GE(cands[0].score, cands[1].score);
+}
+
+TEST(Dpc, UnknownPageClassifiesOutOfInterest)
+{
+    Dpc dpc(4, testConfig());
+    EXPECT_EQ(dpc.classify(999, 1), PageClass::OutOfInterest);
+}
+
+TEST(Dpc, PredictiveModeMigratesBeforeTheCrossover)
+{
+    // The riser has not overtaken the owner yet, but its trend will
+    // cross within the look-ahead: reactive mode waits, predictive
+    // mode (paper SS VII future work) migrates now.
+    for (const bool predictive : {false, true}) {
+        GriffinConfig cfg = testConfig();
+        cfg.lambdaD = 10.0;
+        cfg.lambdaS = 1.01;
+        cfg.alpha = 0.5;
+        cfg.enablePredictiveMigration = predictive;
+        cfg.predictiveLookahead = 3.0;
+        Dpc dpc(4, cfg);
+        mem::PageTable pt(12, 5);
+        pt.setLocation(1, 1);
+        // Stable owner...
+        for (int i = 0; i < 6; ++i) {
+            feed(dpc, 1, {100, 10, 0, 0});
+            dpc.endPeriod(pt);
+        }
+        // ...starts cooling while GPU 2 warms, still below the owner.
+        feed(dpc, 1, {60, 40, 0, 0});
+        const auto cands = dpc.endPeriod(pt);
+        if (predictive) {
+            ASSERT_FALSE(cands.empty());
+            EXPECT_EQ(cands[0].to, 2u);
+        } else {
+            EXPECT_TRUE(cands.empty());
+        }
+    }
+}
+
+TEST(Dpc, PredictiveStillRequiresARisingTrend)
+{
+    GriffinConfig cfg = testConfig();
+    cfg.lambdaD = 10.0;
+    cfg.lambdaS = 1.01;
+    cfg.enablePredictiveMigration = true;
+    Dpc dpc(4, cfg);
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    for (int i = 0; i < 6; ++i) {
+        feed(dpc, 1, {100, 10, 0, 0});
+        dpc.endPeriod(pt);
+    }
+    // Owner cools but nobody rises: no candidate even predictively.
+    feed(dpc, 1, {60, 5, 0, 0});
+    EXPECT_TRUE(dpc.endPeriod(pt).empty());
+}
+
+/** Threshold sweep: the dedicated/shared boundary moves with l_d. */
+class DpcLambdaD : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DpcLambdaD, DominanceRatioDecidesDedicated)
+{
+    GriffinConfig cfg = testConfig();
+    cfg.lambdaD = GetParam();
+    Dpc dpc(4, cfg);
+    mem::PageTable pt(12, 5);
+    pt.setLocation(1, 1);
+    for (int i = 0; i < 8; ++i) {
+        feed(dpc, 1, {90, 60, 0, 0}); // ratio 1.5
+        dpc.endPeriod(pt);
+    }
+    const auto cls = dpc.classify(1, 1);
+    if (GetParam() <= 1.5)
+        EXPECT_EQ(cls, PageClass::MostlyDedicated);
+    else
+        EXPECT_NE(cls, PageClass::MostlyDedicated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DpcLambdaD,
+                         ::testing::Values(1.2, 1.5, 2.0, 4.0));

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for driver::Driver: the FCFS baseline (batch size 1),
+ * CPMS batching (one CPU flush per batch), the idle-IOMMU early
+ * close, the batching window, and page pinning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/first_touch_policy.hh"
+#include "src/driver/driver.hh"
+#include "src/gpu/pmc.hh"
+#include "src/mem/dram.hh"
+#include "src/sim/engine.hh"
+#include "src/xlat/iommu.hh"
+
+using namespace griffin;
+
+namespace {
+
+struct Rig
+{
+    sim::Engine engine;
+    mem::PageTable pt{12, 5};
+    ic::Network net{engine, 5, ic::LinkConfig{32.0, 10}};
+    xlat::Iommu iommu{engine, net, pt, xlat::IommuConfig{}};
+    core::FirstTouchPolicy policy;
+    mem::Dram cpuDram{mem::DramConfig{4, 100, 16.0, 256}};
+    mem::Dram gpuDram{mem::DramConfig{}};
+    std::vector<mem::Dram *> drams{&cpuDram, &gpuDram, &gpuDram,
+                                   &gpuDram, &gpuDram};
+    gpu::Pmc pmc{engine, net, cpuDeviceId, drams, 4096};
+    std::unique_ptr<driver::Driver> driver;
+
+    explicit Rig(driver::DriverConfig cfg = driver::DriverConfig{})
+    {
+        driver = std::make_unique<driver::Driver>(engine, pt, iommu,
+                                                  pmc, cfg);
+        iommu.setPolicy(&policy);
+        iommu.setFaultHandler(driver.get());
+    }
+};
+
+} // namespace
+
+TEST(Driver, SingleFaultMigratesPage)
+{
+    Rig rig;
+    rig.driver->onPageFault(2, 7);
+    rig.engine.run();
+    EXPECT_EQ(rig.pt.locationOf(7), 2u);
+    EXPECT_EQ(rig.driver->pagesMigratedIn, 1u);
+    EXPECT_EQ(rig.driver->cpuShootdowns, 1u);
+}
+
+TEST(Driver, BaselinePaysOneShootdownPerPage)
+{
+    driver::DriverConfig cfg;
+    cfg.faultBatchSize = 1;
+    Rig rig(cfg);
+    for (PageId p = 0; p < 10; ++p)
+        rig.driver->onPageFault(1, p);
+    rig.engine.run();
+    EXPECT_EQ(rig.driver->cpuShootdowns, 10u);
+    EXPECT_EQ(rig.driver->batchesProcessed, 10u);
+    EXPECT_EQ(rig.driver->pagesMigratedIn, 10u);
+}
+
+TEST(Driver, BatchingAmortizesTheShootdown)
+{
+    driver::DriverConfig cfg;
+    cfg.faultBatchSize = 8;
+    Rig rig(cfg);
+    for (PageId p = 0; p < 16; ++p)
+        rig.driver->onPageFault(1, p);
+    rig.engine.run();
+    // The first fault opens a batch immediately (the IOMMU is idle in
+    // this rig), the remaining 15 split into 8 + 7.
+    EXPECT_EQ(rig.driver->cpuShootdowns, 3u);
+    EXPECT_EQ(rig.driver->pagesMigratedIn, 16u);
+}
+
+TEST(Driver, UnderfullBatchClosesWhenIommuIdle)
+{
+    driver::DriverConfig cfg;
+    cfg.faultBatchSize = 8;
+    cfg.faultBatchWindow = 100000; // window alone would take forever
+    Rig rig(cfg);
+    rig.driver->onPageFault(1, 3);
+    // No walks are pending -> the batch must close immediately, not
+    // after the window.
+    rig.engine.runUntil(cfg.faultServiceLatency + cfg.cpuFlushPenalty +
+                        5000);
+    EXPECT_EQ(rig.driver->batchesProcessed, 1u);
+    rig.engine.run();
+    EXPECT_EQ(rig.pt.locationOf(3), 1u);
+}
+
+TEST(Driver, SerialBatchProcessing)
+{
+    driver::DriverConfig cfg;
+    cfg.faultBatchSize = 4;
+    Rig rig(cfg);
+    for (PageId p = 0; p < 8; ++p)
+        rig.driver->onPageFault(1, p);
+    EXPECT_TRUE(rig.driver->busy());
+    rig.engine.run();
+    EXPECT_FALSE(rig.driver->busy());
+    // 1 (immediate) + 4 + 3.
+    EXPECT_EQ(rig.driver->batchesProcessed, 3u);
+}
+
+TEST(Driver, PinAfterMigrationSetsBit)
+{
+    driver::DriverConfig cfg;
+    cfg.pinAfterMigration = true;
+    Rig rig(cfg);
+    rig.driver->onPageFault(3, 9);
+    rig.engine.run();
+    EXPECT_TRUE(rig.pt.info(9).pinned);
+
+    driver::DriverConfig cfg2;
+    cfg2.pinAfterMigration = false;
+    Rig rig2(cfg2);
+    rig2.driver->onPageFault(3, 9);
+    rig2.engine.run();
+    EXPECT_FALSE(rig2.pt.info(9).pinned);
+}
+
+TEST(Driver, ServiceLatencyDelaysTheBatch)
+{
+    driver::DriverConfig fast;
+    fast.faultServiceLatency = 0;
+    fast.cpuFlushPenalty = 0;
+    Rig rig_fast(fast);
+    rig_fast.driver->onPageFault(1, 1);
+    const Tick t_fast = rig_fast.engine.run();
+
+    driver::DriverConfig slow;
+    slow.faultServiceLatency = 5000;
+    slow.cpuFlushPenalty = 100;
+    Rig rig_slow(slow);
+    rig_slow.driver->onPageFault(1, 1);
+    const Tick t_slow = rig_slow.engine.run();
+
+    EXPECT_EQ(t_slow - t_fast, 5100u);
+}
+
+TEST(Driver, FaultsReceivedCounts)
+{
+    Rig rig;
+    rig.driver->onPageFault(1, 1);
+    rig.driver->onPageFault(2, 2);
+    rig.engine.run();
+    EXPECT_EQ(rig.driver->faultsReceived, 2u);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for gpu::AccessCounter: saturation, capacity eviction,
+ * and top-N collection with reset (paper SS III-C hardware).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/access_counter.hh"
+
+using namespace griffin;
+using gpu::AccessCounter;
+
+TEST(AccessCounter, CountsPerPage)
+{
+    AccessCounter ac(100);
+    ac.record(1);
+    ac.record(1);
+    ac.record(2);
+    const auto top = ac.collectTop(10);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].page, 1u);
+    EXPECT_EQ(top[0].count, 2u);
+    EXPECT_EQ(top[1].page, 2u);
+}
+
+TEST(AccessCounter, CollectResetsTheTable)
+{
+    AccessCounter ac(100);
+    ac.record(1);
+    ac.collectTop(10);
+    EXPECT_EQ(ac.size(), 0u);
+    EXPECT_TRUE(ac.collectTop(10).empty());
+}
+
+TEST(AccessCounter, SaturatesAtMaxCount)
+{
+    AccessCounter ac(100, 0xff);
+    for (int i = 0; i < 300; ++i)
+        ac.record(7);
+    const auto top = ac.collectTop(1);
+    EXPECT_EQ(top[0].count, 0xffu);
+    EXPECT_EQ(ac.saturated, 300u - 255u);
+}
+
+TEST(AccessCounter, CapacityEvictsColdest)
+{
+    AccessCounter ac(3);
+    ac.record(1);
+    ac.record(1); // hot
+    ac.record(2);
+    ac.record(2); // hot
+    ac.record(3); // cold
+    ac.record(4); // evicts 3 (count 1, coldest)
+    EXPECT_EQ(ac.size(), 3u);
+    EXPECT_EQ(ac.capacityEvictions, 1u);
+    const auto top = ac.collectTop(10);
+    for (const auto &pc : top)
+        EXPECT_NE(pc.page, 3u);
+}
+
+TEST(AccessCounter, TopNTruncatesByCount)
+{
+    AccessCounter ac(100);
+    for (PageId p = 0; p < 30; ++p) {
+        for (PageId n = 0; n <= p; ++n)
+            ac.record(p);
+    }
+    const auto top = ac.collectTop(20);
+    ASSERT_EQ(top.size(), 20u);
+    // Descending counts; hottest page is 29 with 30 records.
+    EXPECT_EQ(top[0].page, 29u);
+    EXPECT_EQ(top[0].count, 30u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].count, top[i].count);
+    // The coldest ten pages (0..9) were cut.
+    for (const auto &pc : top)
+        EXPECT_GE(pc.page, 10u);
+}
+
+TEST(AccessCounter, DeterministicTieBreakByPageId)
+{
+    AccessCounter ac(100);
+    ac.record(9);
+    ac.record(3);
+    ac.record(5);
+    const auto top = ac.collectTop(10);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].page, 3u);
+    EXPECT_EQ(top[1].page, 5u);
+    EXPECT_EQ(top[2].page, 9u);
+}
+
+TEST(AccessCounter, PaperBudgetIs100Entries)
+{
+    AccessCounter ac; // defaults
+    EXPECT_EQ(ac.capacity(), 100u);
+    for (PageId p = 0; p < 200; ++p)
+        ac.record(p);
+    EXPECT_EQ(ac.size(), 100u);
+}

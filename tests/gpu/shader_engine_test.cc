@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for gpu::ShaderEngine and the fabric message-size
+ * constants of paper SS III-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/shader_engine.hh"
+#include "src/interconnect/switch.hh"
+
+using namespace griffin;
+using gpu::ShaderEngine;
+
+TEST(ShaderEngine, OwnsItsCuRange)
+{
+    ShaderEngine se(1, 9, 9, 100);
+    EXPECT_EQ(se.seId(), 1u);
+    EXPECT_FALSE(se.ownsCu(8));
+    EXPECT_TRUE(se.ownsCu(9));
+    EXPECT_TRUE(se.ownsCu(17));
+    EXPECT_FALSE(se.ownsCu(18));
+}
+
+TEST(ShaderEngine, CounterCapacityFollowsConfig)
+{
+    ShaderEngine se(0, 0, 9, 100);
+    EXPECT_EQ(se.counter().capacity(), 100u);
+}
+
+TEST(ShaderEngineDeath, MoreThan16CusRejected)
+{
+    // Paper SS III-C: an SE groups *up to 16* CUs.
+    EXPECT_DEATH(ShaderEngine(0, 0, 17, 100), "16");
+}
+
+TEST(MessageSizes, AccessCountMessageMatchesThePaper)
+{
+    // Paper SS III-C: 20 pages x (36-bit id + 8-bit count) fits in
+    // 110 bytes — "smaller than two cache lines".
+    EXPECT_EQ(ic::MessageSizes::accessCountReply, 110u);
+    EXPECT_LT(ic::MessageSizes::accessCountReply,
+              2 * ic::MessageSizes::cacheLine);
+    // 20 * 44 bits = 880 bits = 110 bytes exactly.
+    EXPECT_EQ(20u * (36u + 8u) / 8u,
+              ic::MessageSizes::accessCountReply);
+}
+
+TEST(MessageSizes, DcaMessagesCarryALine)
+{
+    EXPECT_EQ(ic::MessageSizes::dcaReadReply,
+              ic::MessageSizes::cacheLine + ic::MessageSizes::header);
+    EXPECT_EQ(ic::MessageSizes::dcaWriteRequest,
+              ic::MessageSizes::cacheLine + ic::MessageSizes::header);
+    EXPECT_LT(ic::MessageSizes::dcaWriteAck,
+              ic::MessageSizes::dcaWriteRequest);
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the Link and Network models: latency, bandwidth
+ * serialization, duplex independence, and congestion at a hot device.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/interconnect/link.hh"
+#include "src/interconnect/switch.hh"
+#include "src/sim/engine.hh"
+
+using namespace griffin;
+using ic::Link;
+using ic::LinkConfig;
+using ic::Network;
+
+TEST(Link, SingleMessageLatency)
+{
+    Link link(LinkConfig{32.0, 250});
+    // 64 B at 32 B/cy = 2 cycles service + 250 latency.
+    EXPECT_EQ(link.send(0, 0, 64), 252u);
+}
+
+TEST(Link, MinimumOneCycleService)
+{
+    Link link(LinkConfig{32.0, 10});
+    EXPECT_EQ(link.send(0, 0, 8), 11u);
+}
+
+TEST(Link, BackToBackSerializes)
+{
+    Link link(LinkConfig{32.0, 250});
+    EXPECT_EQ(link.send(0, 0, 64), 252u);
+    EXPECT_EQ(link.send(0, 0, 64), 254u); // starts at t=2
+    EXPECT_EQ(link.nextFree(0), 4u);
+}
+
+TEST(Link, DirectionsAreIndependent)
+{
+    Link link(LinkConfig{32.0, 250});
+    link.send(0, 0, 3200); // occupies upstream 100 cycles
+    EXPECT_EQ(link.send(0, 1, 64), 252u); // downstream unaffected
+}
+
+TEST(Link, IdleGapResetsStart)
+{
+    Link link(LinkConfig{32.0, 100});
+    link.send(0, 0, 64);
+    EXPECT_EQ(link.send(1000, 0, 64), 1102u);
+}
+
+TEST(Link, StatsPerDirection)
+{
+    Link link(LinkConfig{32.0, 100});
+    link.send(0, 0, 64);
+    link.send(0, 0, 64);
+    link.send(0, 1, 128);
+    EXPECT_EQ(link.messages[0], 2u);
+    EXPECT_EQ(link.messages[1], 1u);
+    EXPECT_EQ(link.bytesSent[0], 128u);
+    EXPECT_EQ(link.bytesSent[1], 128u);
+    EXPECT_EQ(link.busyCycles[0], 4u);
+    EXPECT_EQ(link.busyCycles[1], 4u);
+}
+
+TEST(Network, DeliversAfterTwoHops)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 100});
+    Tick delivered = 0;
+    net.send(1, 2, 64, [&] { delivered = engine.now(); });
+    engine.run();
+    // src up: 2 service + 100; dst down: starts at 102, +2+100 = 204.
+    EXPECT_EQ(delivered, 204u);
+    EXPECT_EQ(net.messagesDelivered, 1u);
+}
+
+TEST(Network, HotDestinationCongests)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 100});
+    // Three senders target device 1 simultaneously with large
+    // messages: deliveries serialize on device 1's downstream wire.
+    std::vector<Tick> times;
+    for (DeviceId src = 2; src <= 4; ++src)
+        net.send(src, 1, 3200, [&] { times.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_EQ(times[0], 400u);           // 100 ser + 100, then +100+100
+    EXPECT_EQ(times[1] - times[0], 100u); // serialized at 100 cy each
+    EXPECT_EQ(times[2] - times[1], 100u);
+}
+
+TEST(Network, DistinctDestinationsDoNotContend)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 100});
+    std::vector<Tick> times;
+    net.send(1, 2, 3200, [&] { times.push_back(engine.now()); });
+    net.send(3, 4, 3200, [&] { times.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], times[1]);
+}
+
+TEST(Network, SameSourceSerializesOnEgress)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 100});
+    std::vector<Tick> times;
+    net.send(1, 2, 3200, [&] { times.push_back(engine.now()); });
+    net.send(1, 3, 3200, [&] { times.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[1] - times[0], 100u); // egress wire shared
+}
+
+TEST(Network, PageTransferTiming)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 250});
+    Tick delivered = 0;
+    // A 4 KB page + header: the dominant migration cost.
+    net.send(1, 2, 4096 + 8, [&] { delivered = engine.now(); });
+    engine.run();
+    // ceil(4104/32)=129 service twice + 250 latency twice.
+    EXPECT_EQ(delivered, 2u * (129 + 250));
+}
+
+TEST(NetworkDeath, LoopbackRejected)
+{
+    sim::Engine engine;
+    Network net(engine, 5, LinkConfig{32.0, 100});
+    EXPECT_DEATH(net.send(1, 1, 64, [] {}), "loopback");
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit and property tests for mem::Cache: hit/miss behaviour, LRU
+ * replacement, write-back semantics, and the selective page flush
+ * that the migration machinery depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/mem/cache.hh"
+#include "src/sim/rng.hh"
+
+using namespace griffin;
+using mem::Cache;
+using mem::CacheConfig;
+
+namespace {
+
+CacheConfig
+tinyConfig()
+{
+    // 4 sets x 2 ways x 64 B lines.
+    return CacheConfig{512, 2, 64, 1};
+}
+
+} // namespace
+
+TEST(Cache, GeometryDerivedFromConfig)
+{
+    Cache c(tinyConfig());
+    EXPECT_EQ(c.numSets(), 4u);
+    Cache big(CacheConfig{2 * 1024 * 1024, 16, 64, 20});
+    EXPECT_EQ(big.numSets(), 2048u);
+    EXPECT_EQ(big.latency(), 20u);
+}
+
+TEST(Cache, FirstAccessMissesSecondHits)
+{
+    Cache c(tinyConfig());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    Cache c(tinyConfig());
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.access(0x103F, false).hit);
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tinyConfig()); // 2 ways
+    // Three lines mapping to the same set (stride = sets * line).
+    const Addr a = 0x0000, b = 0x0400, d = 0x0800;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);    // a most recent
+    c.access(d, false);    // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c(tinyConfig());
+    const Addr a = 0x0000, b = 0x0400, d = 0x0800;
+    c.access(a, false);
+    c.access(b, false);
+    const auto r = c.access(d, false);
+    EXPECT_FALSE(r.writeback);
+    EXPECT_EQ(c.writebacks, 0u);
+}
+
+TEST(Cache, DirtyEvictionReportsWritebackAddress)
+{
+    Cache c(tinyConfig());
+    const Addr a = 0x0000, b = 0x0400, d = 0x0800;
+    c.access(a, true); // dirty
+    c.access(b, false);
+    const auto r = c.access(d, false); // evicts a
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddr, a);
+    EXPECT_EQ(c.writebacks, 1u);
+}
+
+TEST(Cache, ReadAfterWriteKeepsLineDirty)
+{
+    Cache c(tinyConfig());
+    const Addr a = 0x0000, b = 0x0400, d = 0x0800;
+    c.access(a, true);
+    c.access(a, false); // read does not clean it
+    c.access(b, false);
+    EXPECT_TRUE(c.access(d, false).writeback);
+}
+
+TEST(Cache, ProbeDoesNotPerturbLru)
+{
+    Cache c(tinyConfig());
+    const Addr a = 0x0000, b = 0x0400, d = 0x0800;
+    c.access(a, false);
+    c.access(b, false);
+    // Probing a must NOT make it most-recent.
+    EXPECT_TRUE(c.probe(a));
+    c.access(d, false); // evicts a (still LRU)
+    EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, FlushAllInvalidatesAndCountsDirty)
+{
+    Cache c(tinyConfig());
+    // Three different sets: nothing evicts before the flush.
+    c.access(0x0000, true);
+    c.access(0x0040, false);
+    c.access(0x0080, true);
+    const auto r = c.flushAll();
+    EXPECT_EQ(r.linesInvalidated, 3u);
+    EXPECT_EQ(r.dirtyWritebacks, 2u);
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(Cache, FlushPagesIsSelective)
+{
+    Cache c(CacheConfig{16 * 1024, 4, 64, 1});
+    // Lines in pages 0, 1 and 5 (4 KB pages).
+    c.access(0x0000, true);
+    c.access(0x0040, false);
+    c.access(0x1000, true);
+    c.access(0x5000, false);
+
+    const std::vector<PageId> pages{0, 5};
+    const auto r = c.flushPages(pages, 12);
+    EXPECT_EQ(r.linesInvalidated, 3u);
+    EXPECT_EQ(r.dirtyWritebacks, 1u);
+    EXPECT_FALSE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x5000));
+    EXPECT_TRUE(c.probe(0x1000)); // page 1 untouched
+}
+
+TEST(Cache, FlushPagesOnEmptySetIsNoop)
+{
+    Cache c(tinyConfig());
+    c.access(0x0000, true);
+    const auto r = c.flushPages({}, 12);
+    EXPECT_EQ(r.linesInvalidated, 0u);
+    EXPECT_TRUE(c.probe(0x0000));
+}
+
+TEST(Cache, ValidLinesNeverExceedsCapacity)
+{
+    Cache c(tinyConfig()); // 8 lines
+    sim::Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        c.access(rng.nextBelow(1 << 20) * 64, rng.chance(0.5));
+    EXPECT_LE(c.validLines(), 8u);
+    EXPECT_EQ(c.hits + c.misses, 1000u);
+}
+
+/** Property sweep over geometries. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometry, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup)
+{
+    const auto [size_kb, assoc] = GetParam();
+    Cache c(CacheConfig{std::uint64_t(size_kb) * 1024, unsigned(assoc),
+                        64, 1});
+    const std::uint64_t lines = std::uint64_t(size_kb) * 1024 / 64;
+    // Warm up with half the capacity (conflicts cannot evict within
+    // a strided working set that maps one line per set per way used).
+    const std::uint64_t ws = lines / 2;
+    for (std::uint64_t i = 0; i < ws; ++i)
+        c.access(i * 64, false);
+    c.hits = c.misses = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t i = 0; i < ws; ++i)
+            c.access(i * 64, false);
+    }
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_EQ(c.hits, ws * 3);
+}
+
+TEST_P(CacheGeometry, StreamLargerThanCacheAlwaysMisses)
+{
+    const auto [size_kb, assoc] = GetParam();
+    Cache c(CacheConfig{std::uint64_t(size_kb) * 1024, unsigned(assoc),
+                        64, 1});
+    const std::uint64_t lines = std::uint64_t(size_kb) * 1024 / 64;
+    for (int round = 0; round < 2; ++round) {
+        for (std::uint64_t i = 0; i < lines * 4; ++i)
+            c.access(i * 64, false);
+    }
+    EXPECT_EQ(c.hits, 0u); // pure streaming: LRU keeps nothing useful
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(16, 4), std::make_tuple(16, 1),
+                      std::make_tuple(64, 8), std::make_tuple(256, 16)));

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for mem::Dram: latency, per-channel serialization,
+ * interleaving and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/dram.hh"
+
+using namespace griffin;
+using mem::Dram;
+using mem::DramConfig;
+
+namespace {
+
+DramConfig
+twoChannel()
+{
+    DramConfig cfg;
+    cfg.numChannels = 2;
+    cfg.accessLatency = 100;
+    cfg.bytesPerCyclePerChannel = 64.0;
+    cfg.interleaveBytes = 256;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Dram, SingleAccessPaysLatencyPlusService)
+{
+    Dram d(twoChannel());
+    // 64 B at 64 B/cycle = 1 cycle of service + 100 latency.
+    EXPECT_EQ(d.access(0, 0, 64, false), 101u);
+}
+
+TEST(Dram, ChannelInterleaving)
+{
+    Dram d(twoChannel());
+    EXPECT_EQ(d.channelOf(0), 0u);
+    EXPECT_EQ(d.channelOf(255), 0u);
+    EXPECT_EQ(d.channelOf(256), 1u);
+    EXPECT_EQ(d.channelOf(512), 0u);
+}
+
+TEST(Dram, SameChannelSerializes)
+{
+    Dram d(twoChannel());
+    const Tick t1 = d.access(0, 0, 640, false);   // 10 cycles service
+    const Tick t2 = d.access(0, 0, 640, false);   // waits for first
+    EXPECT_EQ(t1, 110u);
+    EXPECT_EQ(t2, 120u);
+}
+
+TEST(Dram, DifferentChannelsRunInParallel)
+{
+    Dram d(twoChannel());
+    const Tick t1 = d.access(0, 0, 640, false);
+    const Tick t2 = d.access(0, 256, 640, false); // other channel
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Dram, LateArrivalStartsAtArrival)
+{
+    Dram d(twoChannel());
+    d.access(0, 0, 64, false);
+    const Tick t = d.access(1000, 0, 64, false);
+    EXPECT_EQ(t, 1101u);
+}
+
+TEST(Dram, StatsAccumulate)
+{
+    Dram d(twoChannel());
+    d.access(0, 0, 64, false);
+    d.access(0, 0, 64, true);
+    d.access(0, 256, 128, true);
+    EXPECT_EQ(d.reads, 1u);
+    EXPECT_EQ(d.writes, 2u);
+    EXPECT_EQ(d.bytesTransferred, 256u);
+    EXPECT_GT(d.busyCycles, 0u);
+}
+
+TEST(Dram, PageSizedBurstServiceTime)
+{
+    Dram d(twoChannel());
+    // 4096 B on one channel at 64 B/cy = 64 cycles of service.
+    const Tick t = d.access(0, 0, 4096, false);
+    EXPECT_EQ(t, 164u);
+}
+
+TEST(Dram, HbmDefaultsAreFast)
+{
+    Dram d(DramConfig{}); // 8 channels, 128 B/cy each
+    const Tick t = d.access(0, 0, 64, false);
+    EXPECT_EQ(t, 151u); // ceil(64/128) = 1 cycle + 150
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for mem::PageTable: residency accounting, occupancy
+ * math, DFTM policy bits, and the page-conservation invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/page_table.hh"
+
+using namespace griffin;
+using mem::PageTable;
+
+TEST(PageTable, PagesSpringIntoExistenceOnCpu)
+{
+    PageTable pt(12, 5);
+    EXPECT_EQ(pt.totalPages(), 0u);
+    EXPECT_EQ(pt.locationOf(42), cpuDeviceId);  // const read: no entry
+    EXPECT_EQ(pt.totalPages(), 0u);
+    pt.info(42); // mutable access creates
+    EXPECT_EQ(pt.totalPages(), 1u);
+    EXPECT_EQ(pt.residentPages(cpuDeviceId), 1u);
+}
+
+TEST(PageTable, PageOfAndBaseOfRoundTrip)
+{
+    PageTable pt(12, 5);
+    EXPECT_EQ(pt.pageOf(0x1234), 0x1u);
+    EXPECT_EQ(pt.pageOf(0xFFF), 0x0u);
+    EXPECT_EQ(pt.baseOf(3), 0x3000u);
+    EXPECT_EQ(pt.pageBytes(), 4096u);
+    PageTable big(21, 5);
+    EXPECT_EQ(big.pageBytes(), 2u * 1024 * 1024);
+}
+
+TEST(PageTable, SetLocationMovesResidency)
+{
+    PageTable pt(12, 5);
+    pt.info(7);
+    pt.setLocation(7, 2);
+    EXPECT_EQ(pt.locationOf(7), 2u);
+    EXPECT_EQ(pt.residentPages(cpuDeviceId), 0u);
+    EXPECT_EQ(pt.residentPages(2), 1u);
+    EXPECT_EQ(pt.migrations(), 1u);
+}
+
+TEST(PageTable, SetLocationToSamePlaceIsNotAMigration)
+{
+    PageTable pt(12, 5);
+    pt.setLocation(7, 2);
+    pt.setLocation(7, 2);
+    EXPECT_EQ(pt.migrations(), 1u);
+}
+
+TEST(PageTable, SetLocationClearsMigrationFlags)
+{
+    PageTable pt(12, 5);
+    pt.info(9).migrating = true;
+    pt.info(9).migrationPending = true;
+    pt.setLocation(9, 3);
+    EXPECT_FALSE(pt.info(9).migrating);
+    EXPECT_FALSE(pt.info(9).migrationPending);
+}
+
+TEST(PageTable, ConservationAcrossManyMigrations)
+{
+    PageTable pt(12, 5);
+    for (PageId p = 0; p < 100; ++p)
+        pt.info(p);
+    for (PageId p = 0; p < 100; ++p)
+        pt.setLocation(p, DeviceId(1 + p % 4));
+    for (PageId p = 0; p < 50; ++p)
+        pt.setLocation(p, DeviceId(1 + (p + 1) % 4));
+
+    std::uint64_t total = 0;
+    for (DeviceId dev = 0; dev < 5; ++dev)
+        total += pt.residentPages(dev);
+    EXPECT_EQ(total, pt.totalPages());
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(PageTable, GpuOccupancyIsShareOfGpuPages)
+{
+    PageTable pt(12, 5);
+    for (PageId p = 0; p < 10; ++p)
+        pt.setLocation(p, 1);
+    for (PageId p = 10; p < 15; ++p)
+        pt.setLocation(p, 2);
+    // 5 more stay on the CPU: they must not count.
+    for (PageId p = 15; p < 20; ++p)
+        pt.info(p);
+
+    EXPECT_DOUBLE_EQ(pt.gpuOccupancy(1), 10.0 / 15.0);
+    EXPECT_DOUBLE_EQ(pt.gpuOccupancy(2), 5.0 / 15.0);
+    EXPECT_DOUBLE_EQ(pt.gpuOccupancy(3), 0.0);
+}
+
+TEST(PageTable, OccupancyZeroWhenNoGpuPages)
+{
+    PageTable pt(12, 5);
+    pt.info(1);
+    EXPECT_DOUBLE_EQ(pt.gpuOccupancy(1), 0.0);
+    EXPECT_TRUE(pt.hasHighestOccupancy(1)); // all tie at zero
+}
+
+TEST(PageTable, HighestOccupancyTiesCountAsHighest)
+{
+    PageTable pt(12, 5);
+    pt.setLocation(0, 1);
+    pt.setLocation(1, 2);
+    EXPECT_TRUE(pt.hasHighestOccupancy(1));
+    EXPECT_TRUE(pt.hasHighestOccupancy(2));
+    EXPECT_FALSE(pt.hasHighestOccupancy(3));
+    pt.setLocation(2, 1);
+    EXPECT_TRUE(pt.hasHighestOccupancy(1));
+    EXPECT_FALSE(pt.hasHighestOccupancy(2));
+}
+
+TEST(PageTable, PolicyBitsPersist)
+{
+    PageTable pt(12, 5);
+    pt.info(5).touched = true;
+    pt.info(5).pinned = true;
+    EXPECT_TRUE(pt.info(5).touched);
+    EXPECT_TRUE(pt.info(5).pinned);
+    // Migration does not clear policy bits.
+    pt.setLocation(5, 1);
+    EXPECT_TRUE(pt.info(5).touched);
+    EXPECT_TRUE(pt.info(5).pinned);
+}
+
+TEST(PageTableDeath, InvalidDeviceAsserts)
+{
+    PageTable pt(12, 3); // CPU + 2 GPUs
+    EXPECT_DEATH(pt.setLocation(0, 3), "");
+}

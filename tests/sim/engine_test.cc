@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for sim::Engine: run control, stop requests, watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/sim/engine.hh"
+
+using griffin::Tick;
+using griffin::sim::Engine;
+
+TEST(Engine, RunsToQueueDrain)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(100, [&] { ++fired; });
+    e.schedule(200, [&] { ++fired; });
+    EXPECT_EQ(e.run(), 200u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StopRequestHaltsTheLoop)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&] {
+        ++fired;
+        e.requestStop();
+    });
+    e.schedule(20, [&] { ++fired; });
+    e.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(e.stopRequested());
+    EXPECT_EQ(e.pendingEvents(), 1u);
+}
+
+TEST(Engine, RunAfterStopResumesPendingWork)
+{
+    Engine e;
+    int fired = 0;
+    e.schedule(10, [&] { e.requestStop(); });
+    e.schedule(20, [&] { ++fired; });
+    e.run();
+    e.run(); // clears the stop flag and drains
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, WatchdogThrowsOnRunaway)
+{
+    Engine e(/*max_ticks=*/1000);
+    // A self-rescheduling event never lets the queue drain.
+    std::function<void()> tick = [&] { e.schedule(100, tick); };
+    e.schedule(100, tick);
+    EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, WatchdogDisabledByDefault)
+{
+    Engine e;
+    int n = 0;
+    std::function<void()> tick = [&] {
+        if (++n < 100)
+            e.schedule(1000000, tick);
+    };
+    e.schedule(1000000, tick);
+    EXPECT_NO_THROW(e.run());
+    EXPECT_EQ(n, 100);
+}
+
+TEST(Engine, RunUntilDoesNotTripWatchdog)
+{
+    Engine e(/*max_ticks=*/500);
+    e.schedule(100, [] {});
+    EXPECT_EQ(e.runUntil(400), 400u);
+}
+
+TEST(Engine, EventsExecutedAccumulates)
+{
+    Engine e;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(Tick(i), [] {});
+    e.run();
+    EXPECT_EQ(e.eventsExecuted(), 5u);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for sim::EventQueue: ordering, same-tick FIFO, nested
+ * scheduling, and run-until semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+
+using griffin::Tick;
+using griffin::sim::EventQueue;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ZeroDelayRunsAfterAlreadyQueuedSameTickWork)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(0, [&] {
+        order.push_back(1);
+        q.schedule(0, [&] { order.push_back(3); });
+    });
+    q.schedule(0, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NestedSchedulingAdvancesTime)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(10, [&] {
+        q.schedule(15, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 25u);
+}
+
+TEST(EventQueue, RunOneExecutesExactlyOneEvent)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] { ++count; });
+    q.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 1u);
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t = 10; t <= 100; t += 10)
+        q.scheduleAt(t, [&fired, &q] { fired.push_back(q.now()); });
+    q.runUntil(50);
+    EXPECT_EQ(fired.size(), 5u);
+    EXPECT_EQ(q.now(), 50u);
+    q.run();
+    EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+TEST(EventQueue, EventsExecutedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(Tick(i), [] {});
+    q.run();
+    EXPECT_EQ(q.eventsExecuted(), 7u);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTimeIsLegal)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(5, [&] {
+        q.scheduleAt(q.now(), [&] { ran = true; });
+    });
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastAsserts)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_DEATH(q.scheduleAt(5, [] {}), "past");
+}
+
+TEST(EventQueue, ManyEventsKeepTotalOrder)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 5000; ++i) {
+        const Tick t = Tick((i * 7919) % 1000);
+        q.scheduleAt(t, [&, t] {
+            if (t < last)
+                monotonic = false;
+            last = t;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.eventsExecuted(), 5000u);
+}

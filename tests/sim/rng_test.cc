@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for sim::Rng: determinism, range contracts, rough
+ * uniformity, stream independence via split().
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.hh"
+
+using griffin::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsTheStream)
+{
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng r(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusiveBounds)
+{
+    Rng r(42);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughUniformityOverBuckets)
+{
+    Rng r(1234);
+    std::vector<int> buckets(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBelow(10)];
+    for (const int b : buckets) {
+        EXPECT_GT(b, n / 10 * 0.9);
+        EXPECT_LT(b, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng parent(77);
+    Rng child = parent.split();
+    // The child stream should not mirror the parent's continuation.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (parent.next() == child.next()) ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(77), b(77);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for sim::StatSet and sim::Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/stats.hh"
+
+using griffin::sim::Histogram;
+using griffin::sim::StatSet;
+
+TEST(StatSet, IncCreatesAndAccumulates)
+{
+    StatSet s;
+    s.inc("hits");
+    s.inc("hits", 4);
+    EXPECT_DOUBLE_EQ(s.get("hits"), 5.0);
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.set("x", 3.0);
+    s.set("x", 7.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 7.0);
+}
+
+TEST(StatSet, UnknownNameReadsZeroAndHasIsFalse)
+{
+    StatSet s;
+    EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
+    EXPECT_FALSE(s.has("nope"));
+}
+
+TEST(StatSet, BoundProbeTracksLiveCounter)
+{
+    StatSet s;
+    std::uint64_t counter = 0;
+    s.bindCounter("live", counter);
+    EXPECT_DOUBLE_EQ(s.get("live"), 0.0);
+    counter = 42;
+    EXPECT_DOUBLE_EQ(s.get("live"), 42.0);
+    EXPECT_TRUE(s.has("live"));
+}
+
+TEST(StatSet, ProbeShadowsScalarOfSameName)
+{
+    StatSet s;
+    s.set("x", 1.0);
+    s.bind("x", [] { return 9.0; });
+    EXPECT_DOUBLE_EQ(s.get("x"), 9.0);
+}
+
+TEST(StatSet, AllIsSortedSnapshot)
+{
+    StatSet s;
+    s.set("b", 2);
+    s.set("a", 1);
+    std::uint64_t c = 3;
+    s.bindCounter("c", c);
+    const auto all = s.all();
+    ASSERT_EQ(all.size(), 3u);
+    auto it = all.begin();
+    EXPECT_EQ(it->first, "a");
+    ++it;
+    EXPECT_EQ(it->first, "b");
+    ++it;
+    EXPECT_EQ(it->first, "c");
+    EXPECT_DOUBLE_EQ(it->second, 3.0);
+}
+
+TEST(StatSet, AdoptPrefixesNames)
+{
+    StatSet child;
+    child.set("hits", 10);
+    StatSet parent;
+    parent.adopt("l2.", child);
+    EXPECT_DOUBLE_EQ(parent.get("l2.hits"), 10.0);
+}
+
+TEST(StatSet, DumpContainsNameAndValue)
+{
+    StatSet s;
+    s.set("cycles", 123);
+    EXPECT_NE(s.dump().find("cycles 123"), std::string::npos);
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h(10.0, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 45.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 25.0);
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h(1.0, 4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesLargeSamples)
+{
+    Histogram h(1.0, 4);
+    h.sample(1000.0);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, PercentileApproximation)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(double(i) + 0.5);
+    // p50 should land near 50.
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(90), 90.0, 2.0);
+}

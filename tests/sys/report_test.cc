@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the report helpers: geomean, table rendering, CSV,
+ * ASCII bars.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sys/report.hh"
+
+using namespace griffin::sys;
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, MatchesPaperStyleSpeedups)
+{
+    // A slowdown below 1 pulls the geomean down but stays defined.
+    EXPECT_LT(geomean({2.9, 0.95, 1.1}), 1.6);
+    EXPECT_GT(geomean({2.9, 0.95, 1.1}), 1.3);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "2"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    // Each row ends with a newline.
+    EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_NO_THROW(t.str());
+    EXPECT_NE(t.csv().find("x,,"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"h1", "h2"});
+    t.addRow({"v1", "v2"});
+    EXPECT_EQ(t.csv(), "h1,h2\nv1,v2\n");
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.2345), "1.23");
+    EXPECT_EQ(Table::num(1.2345, 1), "1.2");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(AsciiBar, ScalesAndClamps)
+{
+    EXPECT_EQ(asciiBar(0.0, 1.0, 10), "|----------|");
+    EXPECT_EQ(asciiBar(1.0, 1.0, 10), "|##########|");
+    EXPECT_EQ(asciiBar(0.5, 1.0, 10), "|#####-----|");
+    EXPECT_EQ(asciiBar(5.0, 1.0, 10), "|##########|"); // clamped
+    EXPECT_EQ(asciiBar(1.0, 0.0, 4), "|####|");        // max guard
+}

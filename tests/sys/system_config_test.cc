@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests pinning the configuration defaults to the paper's Tables I
+ * and II, the policy presets, and the fabric variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sys/system_config.hh"
+
+using namespace griffin;
+using sys::SystemConfig;
+
+TEST(SystemConfig, TableIiTopology)
+{
+    const SystemConfig cfg;
+    EXPECT_EQ(cfg.numGpus, 4u);
+    EXPECT_EQ(cfg.numDevices(), 5u);
+    EXPECT_EQ(cfg.gpu.numSes, 4u);
+    EXPECT_EQ(cfg.gpu.cusPerSe, 9u);
+    EXPECT_EQ(cfg.gpu.numCus(), 36u);
+}
+
+TEST(SystemConfig, TableIiCachesAndTlbs)
+{
+    const SystemConfig cfg;
+    EXPECT_EQ(cfg.gpu.l1Cache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.gpu.l1Cache.assoc, 4u);
+    EXPECT_EQ(cfg.gpu.l2Cache.sizeBytes, 8ull * 256 * 1024);
+    EXPECT_EQ(cfg.gpu.l2Cache.assoc, 16u);
+    EXPECT_EQ(cfg.gpu.l1Tlb.numSets, 1u);
+    EXPECT_EQ(cfg.gpu.l1Tlb.assoc, 32u);
+    EXPECT_EQ(cfg.gpu.l2Tlb.numSets, 32u);
+    EXPECT_EQ(cfg.gpu.l2Tlb.assoc, 16u);
+    EXPECT_EQ(cfg.iommu.numWalkers, 8u);
+    EXPECT_EQ(cfg.gpu.pageShift, 12u); // 4 KB pages
+}
+
+TEST(SystemConfig, TableIiFabricIsPcieV4)
+{
+    const SystemConfig cfg;
+    // 32 GB/s per direction at 1 GHz = 32 bytes per cycle.
+    EXPECT_DOUBLE_EQ(cfg.link.bytesPerCycle, 32.0);
+}
+
+TEST(SystemConfig, HighBandwidthFabricVariant)
+{
+    SystemConfig cfg = SystemConfig::griffinDefault();
+    cfg.withHighBandwidthFabric();
+    EXPECT_DOUBLE_EQ(cfg.link.bytesPerCycle, 256.0);
+    EXPECT_LT(cfg.link.latency, SystemConfig{}.link.latency);
+    EXPECT_EQ(cfg.policy, sys::PolicyKind::Griffin); // preserved
+}
+
+TEST(SystemConfig, PolicyPresets)
+{
+    EXPECT_EQ(SystemConfig::baseline().policy,
+              sys::PolicyKind::FirstTouch);
+    EXPECT_EQ(SystemConfig::griffinDefault().policy,
+              sys::PolicyKind::Griffin);
+}
+
+TEST(GriffinConfig, TableIDefaults)
+{
+    const core::GriffinConfig cfg;
+    EXPECT_EQ(cfg.nPtw, 8u);
+    EXPECT_EQ(cfg.tAc, 1000u);
+    EXPECT_DOUBLE_EQ(cfg.alpha, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.lambdaD, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.lambdaS, 1.3);
+    EXPECT_DOUBLE_EQ(cfg.lambdaT, 0.03);
+}
+
+TEST(GriffinConfig, ScaledTimescaleTuning)
+{
+    // griffinDefault() documents the two retuned filter parameters;
+    // everything else stays at Table I.
+    const auto cfg = SystemConfig::griffinDefault().griffin;
+    EXPECT_DOUBLE_EQ(cfg.alpha, 0.25);
+    EXPECT_DOUBLE_EQ(cfg.lambdaT, 0.002);
+    EXPECT_EQ(cfg.nPtw, 8u);
+    EXPECT_EQ(cfg.tAc, 1000u);
+    EXPECT_DOUBLE_EQ(cfg.lambdaD, 2.0);
+    EXPECT_DOUBLE_EQ(cfg.lambdaS, 1.3);
+}
+
+TEST(GriffinConfig, AllMechanismsOnByDefault)
+{
+    const core::GriffinConfig cfg;
+    EXPECT_TRUE(cfg.enableDftm);
+    EXPECT_TRUE(cfg.enableInterGpuMigration);
+    EXPECT_TRUE(cfg.useAcud);
+    EXPECT_FALSE(cfg.enablePredictiveMigration); // SS VII future work
+}

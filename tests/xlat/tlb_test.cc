@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for xlat::Tlb: lookup/fill, LRU within a set, selective
+ * shootdown, and the translation payload (owning device).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/xlat/tlb.hh"
+
+using namespace griffin;
+using xlat::Tlb;
+using xlat::TlbConfig;
+
+TEST(Tlb, MissThenHitWithLocation)
+{
+    Tlb tlb(TlbConfig{1, 32, 1});
+    EXPECT_FALSE(tlb.lookup(10).has_value());
+    tlb.fill(10, 3);
+    const auto loc = tlb.lookup(10);
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(*loc, 3u);
+    EXPECT_EQ(tlb.hits, 1u);
+    EXPECT_EQ(tlb.misses, 1u);
+}
+
+TEST(Tlb, RefillUpdatesLocation)
+{
+    Tlb tlb(TlbConfig{1, 32, 1});
+    tlb.fill(10, 1);
+    tlb.fill(10, 2);
+    EXPECT_EQ(*tlb.lookup(10), 2u);
+    EXPECT_EQ(tlb.validEntries(), 1u);
+}
+
+TEST(Tlb, CapacityAndLruEviction)
+{
+    Tlb tlb(TlbConfig{1, 4, 1}); // fully associative, 4 entries
+    for (PageId p = 0; p < 4; ++p)
+        tlb.fill(p, 1);
+    tlb.lookup(0); // page 0 most recent
+    tlb.fill(99, 1); // evicts page 1 (LRU)
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_TRUE(tlb.probe(99));
+    EXPECT_EQ(tlb.validEntries(), 4u);
+}
+
+TEST(Tlb, SetIndexingSeparatesConflicts)
+{
+    Tlb tlb(TlbConfig{4, 1, 1}); // 4 sets, direct mapped
+    tlb.fill(0, 1);
+    tlb.fill(1, 1); // different set: no conflict
+    EXPECT_TRUE(tlb.probe(0));
+    EXPECT_TRUE(tlb.probe(1));
+    tlb.fill(4, 1); // same set as page 0: evicts it
+    EXPECT_FALSE(tlb.probe(0));
+    EXPECT_TRUE(tlb.probe(4));
+}
+
+TEST(Tlb, InvalidatePageIsSelective)
+{
+    Tlb tlb(TlbConfig{1, 8, 1});
+    tlb.fill(1, 1);
+    tlb.fill(2, 1);
+    EXPECT_TRUE(tlb.invalidatePage(1));
+    EXPECT_FALSE(tlb.invalidatePage(1)); // already gone
+    EXPECT_FALSE(tlb.probe(1));
+    EXPECT_TRUE(tlb.probe(2));
+    EXPECT_EQ(tlb.invalidations, 1u);
+}
+
+TEST(Tlb, InvalidateAllCountsEntries)
+{
+    Tlb tlb(TlbConfig{2, 4, 1});
+    for (PageId p = 0; p < 6; ++p)
+        tlb.fill(p, 1);
+    EXPECT_EQ(tlb.invalidateAll(), 6u);
+    EXPECT_EQ(tlb.validEntries(), 0u);
+    EXPECT_FALSE(tlb.lookup(3).has_value());
+}
+
+TEST(Tlb, PaperL1Geometry)
+{
+    // Paper Table II: L1 TLB is 1 set, 32-way.
+    Tlb tlb(TlbConfig{1, 32, 1});
+    EXPECT_EQ(tlb.capacity(), 32u);
+    for (PageId p = 0; p < 32; ++p)
+        tlb.fill(p, 1);
+    EXPECT_EQ(tlb.validEntries(), 32u);
+    tlb.fill(32, 1);
+    EXPECT_EQ(tlb.validEntries(), 32u); // capacity bound
+}
+
+TEST(Tlb, PaperL2Geometry)
+{
+    // Paper Table II: L2 TLB is 32 sets, 16-way.
+    Tlb tlb(TlbConfig{32, 16, 10});
+    EXPECT_EQ(tlb.capacity(), 512u);
+    EXPECT_EQ(tlb.latency(), 10u);
+}
