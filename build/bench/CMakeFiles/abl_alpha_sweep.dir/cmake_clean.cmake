@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_alpha_sweep.dir/abl_alpha_sweep.cc.o"
+  "CMakeFiles/abl_alpha_sweep.dir/abl_alpha_sweep.cc.o.d"
+  "abl_alpha_sweep"
+  "abl_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_components.dir/abl_components.cc.o"
+  "CMakeFiles/abl_components.dir/abl_components.cc.o.d"
+  "abl_components"
+  "abl_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gpu_count.dir/abl_gpu_count.cc.o"
+  "CMakeFiles/abl_gpu_count.dir/abl_gpu_count.cc.o.d"
+  "abl_gpu_count"
+  "abl_gpu_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gpu_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

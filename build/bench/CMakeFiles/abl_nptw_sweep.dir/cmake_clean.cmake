@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nptw_sweep.dir/abl_nptw_sweep.cc.o"
+  "CMakeFiles/abl_nptw_sweep.dir/abl_nptw_sweep.cc.o.d"
+  "abl_nptw_sweep"
+  "abl_nptw_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nptw_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

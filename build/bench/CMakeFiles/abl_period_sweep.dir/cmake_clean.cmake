@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_period_sweep.dir/abl_period_sweep.cc.o"
+  "CMakeFiles/abl_period_sweep.dir/abl_period_sweep.cc.o.d"
+  "abl_period_sweep"
+  "abl_period_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_period_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

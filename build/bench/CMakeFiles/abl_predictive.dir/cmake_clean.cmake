@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_predictive.dir/abl_predictive.cc.o"
+  "CMakeFiles/abl_predictive.dir/abl_predictive.cc.o.d"
+  "abl_predictive"
+  "abl_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_page_access_timeline.dir/fig01_page_access_timeline.cc.o"
+  "CMakeFiles/fig01_page_access_timeline.dir/fig01_page_access_timeline.cc.o.d"
+  "fig01_page_access_timeline"
+  "fig01_page_access_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_page_access_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

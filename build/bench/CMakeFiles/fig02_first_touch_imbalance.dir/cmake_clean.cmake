@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_first_touch_imbalance.dir/fig02_first_touch_imbalance.cc.o"
+  "CMakeFiles/fig02_first_touch_imbalance.dir/fig02_first_touch_imbalance.cc.o.d"
+  "fig02_first_touch_imbalance"
+  "fig02_first_touch_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_first_touch_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

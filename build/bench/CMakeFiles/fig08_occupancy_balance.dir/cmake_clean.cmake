@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_occupancy_balance.dir/fig08_occupancy_balance.cc.o"
+  "CMakeFiles/fig08_occupancy_balance.dir/fig08_occupancy_balance.cc.o.d"
+  "fig08_occupancy_balance"
+  "fig08_occupancy_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_occupancy_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tlb_shootdowns.dir/fig09_tlb_shootdowns.cc.o"
+  "CMakeFiles/fig09_tlb_shootdowns.dir/fig09_tlb_shootdowns.cc.o.d"
+  "fig09_tlb_shootdowns"
+  "fig09_tlb_shootdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tlb_shootdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_tlb_shootdowns.
+# This may be replaced when dependencies are built.

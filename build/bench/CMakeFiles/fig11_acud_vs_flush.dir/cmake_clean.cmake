@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_acud_vs_flush.dir/fig11_acud_vs_flush.cc.o"
+  "CMakeFiles/fig11_acud_vs_flush.dir/fig11_acud_vs_flush.cc.o.d"
+  "fig11_acud_vs_flush"
+  "fig11_acud_vs_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_acud_vs_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution_locality.dir/convolution_locality.cpp.o"
+  "CMakeFiles/convolution_locality.dir/convolution_locality.cpp.o.d"
+  "convolution_locality"
+  "convolution_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acud.cc" "src/CMakeFiles/griffin.dir/core/acud.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/acud.cc.o.d"
+  "/root/repo/src/core/cpms.cc" "src/CMakeFiles/griffin.dir/core/cpms.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/cpms.cc.o.d"
+  "/root/repo/src/core/dftm.cc" "src/CMakeFiles/griffin.dir/core/dftm.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/dftm.cc.o.d"
+  "/root/repo/src/core/dpc.cc" "src/CMakeFiles/griffin.dir/core/dpc.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/dpc.cc.o.d"
+  "/root/repo/src/core/first_touch_policy.cc" "src/CMakeFiles/griffin.dir/core/first_touch_policy.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/first_touch_policy.cc.o.d"
+  "/root/repo/src/core/griffin_policy.cc" "src/CMakeFiles/griffin.dir/core/griffin_policy.cc.o" "gcc" "src/CMakeFiles/griffin.dir/core/griffin_policy.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "src/CMakeFiles/griffin.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/griffin.dir/driver/driver.cc.o.d"
+  "/root/repo/src/gpu/access_counter.cc" "src/CMakeFiles/griffin.dir/gpu/access_counter.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/access_counter.cc.o.d"
+  "/root/repo/src/gpu/compute_unit.cc" "src/CMakeFiles/griffin.dir/gpu/compute_unit.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/compute_unit.cc.o.d"
+  "/root/repo/src/gpu/dispatcher.cc" "src/CMakeFiles/griffin.dir/gpu/dispatcher.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/dispatcher.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/griffin.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/pmc.cc" "src/CMakeFiles/griffin.dir/gpu/pmc.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/pmc.cc.o.d"
+  "/root/repo/src/gpu/rdma.cc" "src/CMakeFiles/griffin.dir/gpu/rdma.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/rdma.cc.o.d"
+  "/root/repo/src/gpu/shader_engine.cc" "src/CMakeFiles/griffin.dir/gpu/shader_engine.cc.o" "gcc" "src/CMakeFiles/griffin.dir/gpu/shader_engine.cc.o.d"
+  "/root/repo/src/interconnect/link.cc" "src/CMakeFiles/griffin.dir/interconnect/link.cc.o" "gcc" "src/CMakeFiles/griffin.dir/interconnect/link.cc.o.d"
+  "/root/repo/src/interconnect/switch.cc" "src/CMakeFiles/griffin.dir/interconnect/switch.cc.o" "gcc" "src/CMakeFiles/griffin.dir/interconnect/switch.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/griffin.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/griffin.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/griffin.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/griffin.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/griffin.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/griffin.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/griffin.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/griffin.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/griffin.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/griffin.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/griffin.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sys/multi_gpu_system.cc" "src/CMakeFiles/griffin.dir/sys/multi_gpu_system.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sys/multi_gpu_system.cc.o.d"
+  "/root/repo/src/sys/report.cc" "src/CMakeFiles/griffin.dir/sys/report.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sys/report.cc.o.d"
+  "/root/repo/src/sys/system_config.cc" "src/CMakeFiles/griffin.dir/sys/system_config.cc.o" "gcc" "src/CMakeFiles/griffin.dir/sys/system_config.cc.o.d"
+  "/root/repo/src/workloads/bfs.cc" "src/CMakeFiles/griffin.dir/workloads/bfs.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/bfs.cc.o.d"
+  "/root/repo/src/workloads/bs.cc" "src/CMakeFiles/griffin.dir/workloads/bs.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/bs.cc.o.d"
+  "/root/repo/src/workloads/fir.cc" "src/CMakeFiles/griffin.dir/workloads/fir.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/fir.cc.o.d"
+  "/root/repo/src/workloads/flw.cc" "src/CMakeFiles/griffin.dir/workloads/flw.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/flw.cc.o.d"
+  "/root/repo/src/workloads/fw.cc" "src/CMakeFiles/griffin.dir/workloads/fw.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/fw.cc.o.d"
+  "/root/repo/src/workloads/km.cc" "src/CMakeFiles/griffin.dir/workloads/km.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/km.cc.o.d"
+  "/root/repo/src/workloads/mt.cc" "src/CMakeFiles/griffin.dir/workloads/mt.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/mt.cc.o.d"
+  "/root/repo/src/workloads/pr.cc" "src/CMakeFiles/griffin.dir/workloads/pr.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/pr.cc.o.d"
+  "/root/repo/src/workloads/sc.cc" "src/CMakeFiles/griffin.dir/workloads/sc.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/sc.cc.o.d"
+  "/root/repo/src/workloads/st.cc" "src/CMakeFiles/griffin.dir/workloads/st.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/st.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/griffin.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/trace.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/griffin.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/griffin.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/xlat/iommu.cc" "src/CMakeFiles/griffin.dir/xlat/iommu.cc.o" "gcc" "src/CMakeFiles/griffin.dir/xlat/iommu.cc.o.d"
+  "/root/repo/src/xlat/tlb.cc" "src/CMakeFiles/griffin.dir/xlat/tlb.cc.o" "gcc" "src/CMakeFiles/griffin.dir/xlat/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

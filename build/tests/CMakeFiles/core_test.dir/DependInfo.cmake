@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cpms_test.cc" "tests/CMakeFiles/core_test.dir/core/cpms_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cpms_test.cc.o.d"
+  "/root/repo/tests/core/dftm_test.cc" "tests/CMakeFiles/core_test.dir/core/dftm_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dftm_test.cc.o.d"
+  "/root/repo/tests/core/dpc_test.cc" "tests/CMakeFiles/core_test.dir/core/dpc_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dpc_test.cc.o.d"
+  "/root/repo/tests/core/executor_test.cc" "tests/CMakeFiles/core_test.dir/core/executor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/executor_test.cc.o.d"
+  "/root/repo/tests/core/griffin_policy_test.cc" "tests/CMakeFiles/core_test.dir/core/griffin_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/griffin_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/griffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/access_counter_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/access_counter_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/access_counter_test.cc.o.d"
+  "/root/repo/tests/gpu/compute_unit_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/compute_unit_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/compute_unit_test.cc.o.d"
+  "/root/repo/tests/gpu/dispatcher_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/dispatcher_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/dispatcher_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/gpu_test.cc.o.d"
+  "/root/repo/tests/gpu/rdma_pmc_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/rdma_pmc_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/rdma_pmc_test.cc.o.d"
+  "/root/repo/tests/gpu/shader_engine_test.cc" "tests/CMakeFiles/gpu_test.dir/gpu/shader_engine_test.cc.o" "gcc" "tests/CMakeFiles/gpu_test.dir/gpu/shader_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/griffin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/gpu/access_counter_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/access_counter_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/compute_unit_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/compute_unit_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/dispatcher_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/dispatcher_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/rdma_pmc_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/rdma_pmc_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/shader_engine_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/shader_engine_test.cc.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+  "gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xlat_test.dir/xlat/iommu_test.cc.o"
+  "CMakeFiles/xlat_test.dir/xlat/iommu_test.cc.o.d"
+  "CMakeFiles/xlat_test.dir/xlat/tlb_test.cc.o"
+  "CMakeFiles/xlat_test.dir/xlat/tlb_test.cc.o.d"
+  "xlat_test"
+  "xlat_test.pdb"
+  "xlat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xlat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
