@@ -9,17 +9,31 @@
  *   --seed=N    master seed (default 42)
  *   --csv       also emit machine-readable CSV after each table
  *   --workload=X  restrict to one Table III abbreviation
+ *
+ * Observability flags:
+ *   --trace=FILE    Chrome trace-event JSON of every run (Perfetto)
+ *   --trace-all     enable the hot categories too (net, dca)
+ *   --report=FILE   JSON run report (config, counters, percentiles)
+ *   --samples=FILE  time-series CSV, one section per run
+ *   --sample=N      sampling period in cycles (default 10000; 0 = off)
+ *   --log=LEVEL     stderr log level: error|warn|info|trace
+ *                   (log lines carry a [tick] prefix while a system runs)
  */
 
 #ifndef GRIFFIN_BENCH_COMMON_HH
 #define GRIFFIN_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/obs/sampler.hh"
+#include "src/obs/trace.hh"
+#include "src/sim/log.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
 #include "src/workloads/workload.hh"
@@ -33,6 +47,14 @@ struct Options
     std::uint64_t seed = 42;
     bool csv = false;
     std::vector<std::string> workloads; // empty = all ten
+
+    /** @name Observability outputs (empty = disabled) @{ */
+    std::string traceFile;
+    std::string reportFile;
+    std::string samplesFile;
+    bool traceAllCategories = false;
+    Tick samplePeriod = 10000;
+    /** @} */
 
     static Options
     parse(int argc, char **argv)
@@ -48,15 +70,52 @@ struct Options
                 opt.csv = true;
             } else if (arg.rfind("--workload=", 0) == 0) {
                 opt.workloads.push_back(arg.substr(11));
+            } else if (arg.rfind("--trace=", 0) == 0) {
+                opt.traceFile = arg.substr(8);
+            } else if (arg == "--trace-all") {
+                opt.traceAllCategories = true;
+            } else if (arg.rfind("--report=", 0) == 0) {
+                opt.reportFile = arg.substr(9);
+            } else if (arg.rfind("--samples=", 0) == 0) {
+                opt.samplesFile = arg.substr(10);
+            } else if (arg.rfind("--sample=", 0) == 0) {
+                opt.samplePeriod = Tick(std::stoull(arg.substr(9)));
+            } else if (arg.rfind("--log=", 0) == 0) {
+                const std::string lvl = arg.substr(6);
+                if (lvl == "error")
+                    sim::Log::setLevel(sim::LogLevel::Error);
+                else if (lvl == "warn")
+                    sim::Log::setLevel(sim::LogLevel::Warn);
+                else if (lvl == "info")
+                    sim::Log::setLevel(sim::LogLevel::Info);
+                else if (lvl == "trace")
+                    sim::Log::setLevel(sim::LogLevel::Trace);
+                else
+                    std::cerr << "unknown log level '" << lvl
+                              << "' (error|warn|info|trace)\n";
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "flags: --scale=N --seed=N --csv"
-                             " --workload=ABBV (repeatable)\n";
+                             " --workload=ABBV (repeatable)"
+                             " --trace=FILE [--trace-all]"
+                             " --report=FILE --samples=FILE"
+                             " --sample=N --log=LEVEL\n";
                 std::exit(0);
+            } else {
+                std::cerr << "warning: unrecognized flag '" << arg
+                          << "' ignored (see --help)\n";
             }
         }
         if (opt.workloads.empty())
             opt.workloads = wl::workloadNames();
         return opt;
+    }
+
+    /** True when any run should carry a sampler. */
+    bool
+    wantSamples() const
+    {
+        return samplePeriod > 0 &&
+               (!reportFile.empty() || !samplesFile.empty());
     }
 
     wl::WorkloadConfig
@@ -70,6 +129,83 @@ struct Options
 };
 
 /**
+ * Process-lifetime observability state for a bench binary: one trace
+ * session and one report document accumulate across every run; the
+ * files are written when the program exits.
+ */
+class ObsState
+{
+  public:
+    explicit ObsState(const Options &opt)
+        : _traceFile(opt.traceFile), _reportFile(opt.reportFile),
+          _samplesFile(opt.samplesFile),
+          _runs(obs::json::Value::array())
+    {
+        if (!_traceFile.empty()) {
+            _trace = std::make_unique<obs::TraceSession>(
+                opt.traceAllCategories ? obs::allCategories
+                                       : obs::defaultCategories);
+            _trace->attach();
+        }
+    }
+
+    ~ObsState()
+    {
+        if (_trace) {
+            _trace->detach();
+            std::ofstream os(_traceFile);
+            _trace->writeJson(os);
+            std::cerr << "trace: " << _traceFile << " ("
+                      << _trace->eventCount() << " events)\n";
+        }
+        if (!_reportFile.empty()) {
+            obs::json::Value doc = obs::json::Value::object();
+            doc["runs"] = std::move(_runs);
+            std::ofstream os(_reportFile);
+            os << doc.dump(2) << "\n";
+            std::cerr << "report: " << _reportFile << "\n";
+        }
+        if (!_samplesFile.empty()) {
+            const std::string csv = _samplesCsv.str();
+            if (csv.empty()) {
+                std::cerr << "samples: nothing sampled (is --sample=0?), "
+                          << "not writing " << _samplesFile << "\n";
+            } else {
+                std::ofstream os(_samplesFile);
+                os << csv;
+                std::cerr << "samples: " << _samplesFile << "\n";
+            }
+        }
+    }
+
+    obs::TraceSession *trace() { return _trace.get(); }
+
+    void
+    addRun(const std::string &label, const sys::SystemConfig &scfg,
+           const sys::RunResult &result, const obs::Sampler *sampler)
+    {
+        if (!_reportFile.empty())
+            _runs.push(sys::runReportJson(label, scfg, result, sampler));
+        if (!_samplesFile.empty() && sampler)
+            _samplesCsv << "# " << label << "\n" << sampler->csv();
+    }
+
+  private:
+    std::string _traceFile, _reportFile, _samplesFile;
+    std::unique_ptr<obs::TraceSession> _trace;
+    obs::json::Value _runs;
+    std::ostringstream _samplesCsv;
+};
+
+/** The bench-wide ObsState; the first call's options stick. */
+inline ObsState &
+obsState(const Options &opt)
+{
+    static ObsState state(opt);
+    return state;
+}
+
+/**
  * Run one workload on one system configuration.
  */
 inline sys::RunResult
@@ -81,8 +217,27 @@ runWorkload(const std::string &name, const sys::SystemConfig &scfg,
         std::cerr << "unknown workload: " << name << "\n";
         std::exit(1);
     }
+
+    ObsState &obs = obsState(opt);
+    const std::string label = name + "/" +
+        (scfg.policy == sys::PolicyKind::Griffin ? "griffin"
+                                                 : "first-touch");
+    if (obs.trace())
+        obs.trace()->beginProcess(label);
+
     sys::MultiGpuSystem system(scfg);
-    return system.run(*workload);
+    obs::Sampler sampler;
+    const bool want_samples = opt.wantSamples();
+    if (want_samples) {
+        system.registerProbes(sampler);
+        sampler.start(system.engine(), opt.samplePeriod);
+    }
+
+    sys::RunResult result = system.run(*workload);
+
+    sampler.stop();
+    obs.addRun(label, scfg, result, want_samples ? &sampler : nullptr);
+    return result;
 }
 
 /** Print a table, optionally followed by CSV. */

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::core {
@@ -30,6 +31,24 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
 
     const DeviceId source = batch.source;
     gpu::Gpu *src_gpu = gpuOf(source);
+
+    // Span the whole episode: drain command -> quiesce -> shootdown ->
+    // transfers -> completion notification.
+    if (obs::TraceSession::activeFor(obs::CatMigration)) {
+        const Tick begin = _engine.now();
+        const std::size_t npages = batch.moves.size();
+        done = [this, begin, npages, source, done = std::move(done)] {
+            if (auto *tr =
+                    obs::TraceSession::activeFor(obs::CatMigration)) {
+                tr->complete(obs::CatMigration, "executor",
+                             "migration_batch", begin, _engine.now(),
+                             obs::TraceArgs()
+                                 .add("source", source)
+                                 .add("pages", npages));
+            }
+            done();
+        };
+    }
 
     // Shared state for the continuation chain.
     auto moves = std::make_shared<std::vector<MigrationCandidate>>(

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace.hh"
+#include "src/sim/engine.hh"
+
 namespace griffin::core {
 
 namespace {
@@ -27,8 +30,9 @@ pageClassName(PageClass cls)
     return "?";
 }
 
-Dpc::Dpc(unsigned num_gpus, const GriffinConfig &config)
-    : _numGpus(num_gpus), _config(config)
+Dpc::Dpc(unsigned num_gpus, const GriffinConfig &config,
+         const sim::Engine *clock)
+    : _numGpus(num_gpus), _config(config), _clock(clock)
 {
     assert(num_gpus >= 2 && "classification needs at least two GPUs");
 }
@@ -84,6 +88,21 @@ Dpc::endPeriod(const mem::PageTable &pt)
             const PageClass cls = classifyState(st, pi.location,
                                                 &best_gpu);
             ++classCounts[std::size_t(cls)];
+
+            if (int(cls) != st.lastClass) {
+                if (_clock) {
+                    if (auto *tr = obs::TraceSession::activeFor(
+                            obs::CatPolicy)) {
+                        tr->instant(obs::CatPolicy, "dpc",
+                                    "class_change", _clock->now(),
+                                    obs::TraceArgs()
+                                        .add("page", page)
+                                        .add("class",
+                                             pageClassName(cls)));
+                    }
+                }
+                st.lastClass = int(cls);
+            }
 
             const DeviceId target = DeviceId(best_gpu + 1);
             const bool wants_move =

@@ -27,6 +27,10 @@
 #include "src/mem/page_table.hh"
 #include "src/sim/types.hh"
 
+namespace griffin::sim {
+class Engine;
+} // namespace griffin::sim
+
 namespace griffin::core {
 
 /** The five page classes of SS III-C. */
@@ -63,8 +67,11 @@ class Dpc
     /**
      * @param num_gpus GPUs in the system (GPU g is device g+1).
      * @param config   thresholds (Table I).
+     * @param clock    optional timestamp source for trace events
+     *                 (class-change instants); nullptr disables them.
      */
-    Dpc(unsigned num_gpus, const GriffinConfig &config);
+    Dpc(unsigned num_gpus, const GriffinConfig &config,
+        const sim::Engine *clock = nullptr);
 
     /**
      * Feed the counts GPU @p gpu (device id) reported this period.
@@ -102,10 +109,13 @@ class Dpc
         std::vector<double> filtered;
         std::vector<double> previous;
         std::vector<std::uint32_t> pending; ///< raw counts this period
+        /** Last class this page was observed in (-1 = never). */
+        int lastClass = -1;
     };
 
     unsigned _numGpus;
     GriffinConfig _config;
+    const sim::Engine *_clock;
     std::unordered_map<PageId, PageState> _pages;
 
     unsigned gpuIndex(DeviceId gpu) const { return gpu - 1; }

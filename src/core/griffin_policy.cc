@@ -5,9 +5,15 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::core {
+
+namespace {
+/** The policy engine's trace track. */
+const std::string kTrack = "policy";
+} // namespace
 
 GriffinPolicy::GriffinPolicy(sim::Engine &engine, ic::Network &network,
                              mem::PageTable &pt, xlat::Iommu &iommu,
@@ -17,7 +23,7 @@ GriffinPolicy::GriffinPolicy(sim::Engine &engine, ic::Network &network,
     : _engine(engine), _network(network), _pageTable(pt), _iommu(iommu),
       _gpus(std::move(gpus)), _config(config),
       _dftm(config.dftmLeaseGap, config.dftmLeaseCap),
-      _dpc(unsigned(_gpus.size()), config),
+      _dpc(unsigned(_gpus.size()), config, &engine),
       _cpms(config.maxPagesPerPeriod, config.maxSourceGpusPerPeriod),
       _executor(engine, network, pt, iommu, _gpus, std::move(pmcs),
                 config.useAcud)
@@ -81,6 +87,11 @@ void
 GriffinPolicy::runPeriod()
 {
     ++periodsRun;
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatPolicy)) {
+        tr->instant(obs::CatPolicy, kTrack, "collect_period",
+                    _engine.now(),
+                    obs::TraceArgs().add("period", periodsRun));
+    }
 
     // Expire DFTM denial leases: purge the IOTLB entry so the next
     // touch of the page faults into the policy (the "second touch").
@@ -154,13 +165,29 @@ GriffinPolicy::onCountsCollected()
         return;
 
     _migrationInFlight = true;
+    const Tick phase_begin = _engine.now();
+    std::size_t phase_pages = 0;
+    for (const auto &batch : batches)
+        phase_pages += batch.moves.size();
+    const std::size_t num_batches = batches.size();
     auto remaining = std::make_shared<std::size_t>(batches.size());
     for (auto &batch : batches) {
         GLOG(Trace, "griffin: migration batch from gpu " << batch.source
                     << " (" << batch.moves.size() << " pages)");
-        _executor.executeBatch(batch, [this, remaining] {
-            if (--*remaining == 0)
+        _executor.executeBatch(batch, [this, remaining, phase_begin,
+                                       num_batches, phase_pages] {
+            if (--*remaining == 0) {
                 _migrationInFlight = false;
+                if (auto *tr = obs::TraceSession::activeFor(
+                        obs::CatPolicy)) {
+                    tr->complete(obs::CatPolicy, kTrack,
+                                 "migration_phase", phase_begin,
+                                 _engine.now(),
+                                 obs::TraceArgs()
+                                     .add("batches", num_batches)
+                                     .add("pages", phase_pages));
+                }
+            }
         });
     }
 }

@@ -3,9 +3,16 @@
 #include <cassert>
 #include <memory>
 
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::driver {
+
+namespace {
+/** The driver's trace track. */
+const std::string kTrack = "driver";
+} // namespace
 
 Driver::Driver(sim::Engine &engine, mem::PageTable &pt, xlat::Iommu &iommu,
                gpu::Pmc &cpu_pmc, const DriverConfig &config)
@@ -19,7 +26,13 @@ void
 Driver::onPageFault(DeviceId requester, PageId page)
 {
     ++faultsReceived;
-    _queue.push_back(Fault{requester, page});
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+        tr->instant(obs::CatFault, kTrack, "page_fault", _engine.now(),
+                    obs::TraceArgs()
+                        .add("gpu", requester)
+                        .add("page", page));
+    }
+    _queue.push_back(Fault{requester, page, _engine.now()});
     maybeStartBatch();
 }
 
@@ -73,6 +86,23 @@ Driver::startBatch()
     ++cpuShootdowns;
     GLOG(Trace, "driver: fault batch of " << batch.size() << " pages");
 
+    const Tick now = _engine.now();
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+        // The CPMS batch window: first fault queued -> batch closed.
+        tr->complete(obs::CatFault, kTrack, "cpms_batch_window",
+                     batch.front().raisedAt, now,
+                     obs::TraceArgs().add("pages", batch.size()));
+        // The serial service span: interrupt + runlist + CPU flush.
+        tr->complete(obs::CatFault, kTrack, "fault_batch_service", now,
+                     now + _config.faultServiceLatency +
+                         _config.cpuFlushPenalty,
+                     obs::TraceArgs().add("pages", batch.size()));
+    }
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatShootdown)) {
+        tr->instant(obs::CatShootdown, kTrack, "cpu_tlb_shootdown", now,
+                    obs::TraceArgs().add("pages", batch.size()));
+    }
+
     // One driver service pass + one CPU flush covers the whole batch.
     // This is the serial component: the driver cannot take the next
     // batch until the shootdown/flush is done. The page transfers
@@ -88,6 +118,10 @@ Driver::startBatch()
                     _pageTable.setLocation(fault.page, fault.requester);
                     if (_config.pinAfterMigration)
                         _pageTable.info(fault.page).pinned = true;
+                    if (auto *m = obs::Metrics::active()) {
+                        m->latency.faultLatency.sample(
+                            double(_engine.now() - fault.raisedAt));
+                    }
                     _iommu.onMigrationDone(fault.page);
                 });
         }

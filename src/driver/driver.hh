@@ -74,6 +74,9 @@ class Driver : public xlat::FaultHandler
     /** True while a batch is being serviced (for tests). */
     bool busy() const { return _processing; }
 
+    /** Faults queued but not yet in a serviced batch (probes). */
+    std::size_t pendingFaults() const { return _queue.size(); }
+
     /** @name Statistics @{ */
     std::uint64_t faultsReceived = 0;
     std::uint64_t batchesProcessed = 0;
@@ -87,6 +90,7 @@ class Driver : public xlat::FaultHandler
     {
         DeviceId requester;
         PageId page;
+        Tick raisedAt; ///< for the fault-latency histogram
     };
 
     sim::Engine &_engine;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
+#include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::gpu {
@@ -84,6 +86,15 @@ Gpu::freeCus() const
     return free > unsigned(_wgQueue.size())
         ? free - unsigned(_wgQueue.size())
         : 0;
+}
+
+unsigned
+Gpu::busyCus() const
+{
+    unsigned busy = 0;
+    for (const auto &cu : _cus)
+        busy += cu->busy() ? 1 : 0;
+    return busy;
 }
 
 bool
@@ -272,6 +283,19 @@ Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
     ++drains;
     _pausedSince = _engine.now();
 
+    if (obs::TraceSession::activeFor(obs::CatDrain)) {
+        const Tick begin = _engine.now();
+        const std::size_t npages = pages->size();
+        done = [this, begin, npages, done = std::move(done)] {
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatDrain)) {
+                tr->complete(obs::CatDrain, "gpu" + std::to_string(_id),
+                             "acud_drain", begin, _engine.now(),
+                             obs::TraceArgs().add("pages", npages));
+            }
+            done();
+        };
+    }
+
     // Pause the workgroup schedulers: no new instructions issue while
     // the drain is pending (paper SS III-D).
     for (auto &cu : _cus)
@@ -329,6 +353,11 @@ Gpu::flushForMigration(sim::EventFn done)
 
     const Tick delay = (last_wb - _engine.now()) +
                        _config.flushRecoveryLatency;
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatDrain)) {
+        tr->complete(obs::CatDrain, "gpu" + std::to_string(_id),
+                     "full_flush", _engine.now(), _engine.now() + delay,
+                     obs::TraceArgs().add("entries", entries));
+    }
     _engine.schedule(delay, std::move(done));
 }
 
@@ -336,6 +365,10 @@ void
 Gpu::resumeAllCus()
 {
     pausedCycles += _engine.now() - _pausedSince;
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatDrain)) {
+        tr->complete(obs::CatDrain, "gpu" + std::to_string(_id), "paused",
+                     _pausedSince, _engine.now(), obs::TraceArgs());
+    }
     for (auto &cu : _cus) {
         if (cu->paused())
             cu->resume();
@@ -356,6 +389,13 @@ Gpu::shootdownPages(const std::vector<PageId> &pages)
     tlbEntriesShotDown += entries;
     GLOG(Trace, "gpu " << _id << ": shootdown of " << pages.size()
                        << " pages, " << entries << " entries");
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatShootdown)) {
+        tr->instant(obs::CatShootdown, "gpu" + std::to_string(_id),
+                    "tlb_shootdown", _engine.now(),
+                    obs::TraceArgs()
+                        .add("pages", pages.size())
+                        .add("entries", entries));
+    }
 }
 
 Tick

@@ -94,6 +94,9 @@ class Gpu : public CuMemoryInterface
     /** Number of CUs currently without a workgroup. */
     unsigned freeCus() const;
 
+    /** Number of CUs currently executing a workgroup (probes). */
+    unsigned busyCus() const;
+
     /** @} */
 
     /** @name CU memory interface @{ */

@@ -1,7 +1,11 @@
 #include "src/gpu/pmc.hh"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 
 namespace griffin::gpu {
 
@@ -20,6 +24,31 @@ Pmc::transferPage(PageId page, DeviceId dst, sim::EventFn done)
 
     ++pagesTransferred;
     bytesTransferred += _pageBytes;
+
+    // Observability wrapper: time the whole read->stream->write span.
+    // Only pay for the wrapper when someone is listening.
+    if (obs::Metrics::active() || obs::TraceSession::active()) {
+        const Tick begin = _engine.now();
+        done = [this, page, dst, begin, done = std::move(done)] {
+            const Tick end = _engine.now();
+            if (auto *m = obs::Metrics::active()) {
+                auto &hist = _self == cpuDeviceId
+                                 ? m->latency.cpuMigrationLatency
+                                 : m->latency.interGpuMigrationLatency;
+                hist.sample(double(end - begin));
+            }
+            if (auto *tr =
+                    obs::TraceSession::activeFor(obs::CatMigration)) {
+                tr->complete(obs::CatMigration,
+                             "pmc" + std::to_string(_self),
+                             "migrate_page", begin, end,
+                             obs::TraceArgs()
+                                 .add("page", page)
+                                 .add("dst", dst));
+            }
+            done();
+        };
+    }
 
     // Source DRAM read: pages are page-aligned, so use the page base
     // as the address for channel selection.

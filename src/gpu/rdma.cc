@@ -1,6 +1,9 @@
 #include "src/gpu/rdma.hh"
 
+#include <string>
 #include <utility>
+
+#include "src/obs/trace.hh"
 
 namespace griffin::gpu {
 
@@ -28,12 +31,31 @@ Rdma::serve(Addr addr, bool is_write, DeviceId reply_to,
         ? ic::MessageSizes::dcaWriteAck
         : ic::MessageSizes::dcaReadReply;
 
-    auto finish = [this, reply_to, reply_bytes, done = std::move(done),
-                   leave = std::move(leave_data_phase)]() mutable {
+    sim::EventFn finish = [this, reply_to, reply_bytes,
+                           done = std::move(done),
+                           leave = std::move(leave_data_phase)]() mutable {
         if (leave)
             leave();
         _network.send(_self, reply_to, reply_bytes, std::move(done));
     };
+
+    // Per-line DCA service spans. CatDca is off by default — remote
+    // traffic is per-cache-line and would dominate the trace.
+    if (obs::TraceSession::activeFor(obs::CatDca)) {
+        const Tick begin = _engine.now();
+        finish = [this, addr, is_write, reply_to, begin,
+                  finish = std::move(finish)]() mutable {
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatDca)) {
+                tr->complete(obs::CatDca, "rdma" + std::to_string(_self),
+                             is_write ? "dca_write" : "dca_read", begin,
+                             _engine.now(),
+                             obs::TraceArgs()
+                                 .add("addr", addr)
+                                 .add("from", reply_to));
+            }
+            finish();
+        };
+    }
 
     // L2 lookup; fall through to DRAM on a miss. Dirty victims write
     // back asynchronously (no one waits on them).

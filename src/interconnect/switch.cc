@@ -1,7 +1,11 @@
 #include "src/interconnect/switch.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "src/obs/trace.hh"
 
 namespace griffin::ic {
 
@@ -26,14 +30,32 @@ Network::send(DeviceId src, DeviceId dst, std::uint64_t bytes,
     assert(src != dst && "loopback traffic never crosses the fabric");
 
     const Tick now = _engine.now();
+    const Tick up_start = std::max(now, _links[src].nextFree(dirUp));
     // Serialize on the source's upstream wire...
     const Tick at_switch = _links[src].send(now, dirUp, bytes);
+    const Tick down_start = std::max(at_switch,
+                                     _links[dst].nextFree(dirDown));
     // ...then on the destination's downstream wire. The downstream
     // reservation is made now (deterministic given event order), which
     // models an output-queued switch.
     const Tick at_dst = _links[dst].send(at_switch, dirDown, bytes);
 
     ++messagesDelivered;
+
+    // Per-message wire-occupancy spans. CatNet is off by default — a
+    // busy run emits millions of messages.
+    if (auto *tr = obs::TraceSession::activeFor(obs::CatNet)) {
+        const obs::TraceArgs args = obs::TraceArgs()
+                                        .add("bytes", bytes)
+                                        .add("src", src)
+                                        .add("dst", dst);
+        tr->complete(obs::CatNet, "link" + std::to_string(src) + ".up",
+                     "xfer", up_start,
+                     _links[src].nextFree(dirUp), args);
+        tr->complete(obs::CatNet,
+                     "link" + std::to_string(dst) + ".down", "xfer",
+                     down_start, _links[dst].nextFree(dirDown), args);
+    }
     _engine.scheduleAt(at_dst, std::move(deliver));
 }
 

@@ -1,0 +1,390 @@
+#include "src/obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace griffin::obs::json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Emit a number the way JSON expects: integers without a fraction. */
+std::string
+numberToString(double n)
+{
+    if (std::isfinite(n) && n == std::floor(n) &&
+        std::abs(n) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(n));
+        return buf;
+    }
+    if (!std::isfinite(n))
+        return "0"; // JSON has no inf/nan; clamp rather than corrupt
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    return buf;
+}
+
+} // namespace
+
+Value
+Value::array()
+{
+    Value v;
+    v._kind = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v._kind = Kind::Object;
+    return v;
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Object;
+    for (auto &[k, v] : _members) {
+        if (k == key)
+            return v;
+    }
+    _members.emplace_back(key, Value());
+    return _members.back().second;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : _members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+Value::push(Value v)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Array;
+    _elements.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    return _kind == Kind::Array ? _elements.size() : _members.size();
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    // append() instead of "\n" + std::string(...) chains: GCC 12's
+    // -Wrestrict false positive (PR105651) fires on the latter at -O2.
+    std::string pad, padEnd;
+    if (pretty) {
+        pad += '\n';
+        pad.append(std::size_t(indent) * (depth + 1), ' ');
+        padEnd += '\n';
+        padEnd.append(std::size_t(indent) * depth, ' ');
+    }
+
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += numberToString(_number);
+        break;
+      case Kind::String:
+        out += '"';
+        out += escape(_string);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (_elements.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < _elements.size(); ++i) {
+            if (i)
+                out += ',';
+            out += pad;
+            _elements[i].dumpTo(out, indent, depth + 1);
+        }
+        out += padEnd;
+        out += ']';
+        break;
+      case Kind::Object:
+        if (_members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < _members.size(); ++i) {
+            if (i)
+                out += ',';
+            out += pad;
+            out += '"';
+            out += escape(_members[i].first);
+            out += "\":";
+            if (pretty)
+                out += ' ';
+            _members[i].second.dumpTo(out, indent, depth + 1);
+        }
+        out += padEnd;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    fail()
+    {
+        ok = false;
+        return Value();
+    }
+
+    Value
+    parseValue(int depth)
+    {
+        if (depth > 200)
+            return fail();
+        skipWs();
+        if (pos >= text.size())
+            return fail();
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    Value
+    parseObject(int depth)
+    {
+        Value obj = Value::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipWs();
+            const Value key = parseString();
+            if (!ok || !consume(':'))
+                return fail();
+            obj[key.asString()] = parseValue(depth + 1);
+            if (!ok)
+                return fail();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            return fail();
+        }
+    }
+
+    Value
+    parseArray(int depth)
+    {
+        Value arr = Value::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            arr.push(parseValue(depth + 1));
+            if (!ok)
+                return fail();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            return fail();
+        }
+    }
+
+    Value
+    parseString()
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail();
+        ++pos;
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail();
+                const char esc = text[pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail();
+                    const unsigned code = unsigned(
+                        std::strtoul(text.substr(pos, 4).c_str(),
+                                     nullptr, 16));
+                    pos += 4;
+                    // ASCII only; anything else degrades to '?'.
+                    out += code < 0x80 ? char(code) : '?';
+                    break;
+                  }
+                  default:
+                    return fail();
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= text.size())
+            return fail();
+        ++pos; // closing quote
+        return Value(std::move(out));
+    }
+
+    Value
+    parseBool()
+    {
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            return Value(true);
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return Value(false);
+        }
+        return fail();
+    }
+
+    Value
+    parseNull()
+    {
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return Value();
+        }
+        return fail();
+    }
+
+    Value
+    parseNumber()
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double n = std::strtod(start, &end);
+        if (end == start)
+            return fail();
+        pos += std::size_t(end - start);
+        return Value(n);
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+Value::parse(const std::string &text)
+{
+    Parser p(text);
+    Value v = p.parseValue(0);
+    p.skipWs();
+    if (!p.ok || p.pos != text.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace griffin::obs::json

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A minimal JSON document model: build, serialize, parse.
+ *
+ * The observability layer needs machine-readable output (run reports,
+ * trace files) and the tests need to prove that output is well-formed
+ * and round-trips. This is deliberately a tiny subset of JSON support:
+ * objects preserve insertion order, numbers are doubles, and parsing
+ * is strict (trailing garbage is an error).
+ */
+
+#ifndef GRIFFIN_OBS_JSON_HH
+#define GRIFFIN_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace griffin::obs::json {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string escape(const std::string &s);
+
+/**
+ * One JSON value of any kind. Objects keep their keys in insertion
+ * order so serialized reports are stable and diffable.
+ */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() : _kind(Kind::Null) {}
+    Value(bool b) : _kind(Kind::Bool), _bool(b) {}
+    Value(double n) : _kind(Kind::Number), _number(n) {}
+    Value(int n) : _kind(Kind::Number), _number(n) {}
+    Value(unsigned n) : _kind(Kind::Number), _number(n) {}
+    Value(std::uint64_t n) : _kind(Kind::Number), _number(double(n)) {}
+    Value(std::int64_t n) : _kind(Kind::Number), _number(double(n)) {}
+    Value(const char *s) : _kind(Kind::String), _string(s) {}
+    Value(std::string s) : _kind(Kind::String), _string(std::move(s)) {}
+
+    /** An empty array / object (distinct from Null). */
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+
+    /** @name Scalar access (wrong-kind access returns a default) @{ */
+    bool asBool() const { return _kind == Kind::Bool && _bool; }
+    double asNumber() const { return _kind == Kind::Number ? _number : 0.0; }
+    const std::string &asString() const { return _string; }
+    /** @} */
+
+    /** @name Object interface @{ */
+
+    /** Find or insert @p key (auto-converts Null to Object). */
+    Value &operator[](const std::string &key);
+
+    /** Lookup without insertion; nullptr if absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return _members;
+    }
+
+    /** @} */
+
+    /** @name Array interface @{ */
+
+    /** Append an element (auto-converts Null to Array). */
+    void push(Value v);
+
+    std::size_t size() const;
+    const Value &at(std::size_t i) const { return _elements[i]; }
+
+    /** @} */
+
+    /**
+     * Serialize. @p indent < 0 emits a compact single line; >= 0
+     * pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Strict parse of a complete document.
+     * @return the value, or nullopt on any syntax error (including
+     *         trailing non-whitespace).
+     */
+    static std::optional<Value> parse(const std::string &text);
+
+  private:
+    Kind _kind;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<Value> _elements;
+    std::vector<std::pair<std::string, Value>> _members;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+} // namespace griffin::obs::json
+
+#endif // GRIFFIN_OBS_JSON_HH

@@ -1,0 +1,34 @@
+#include "src/obs/metrics.hh"
+
+namespace griffin::obs {
+
+Metrics *Metrics::s_active = nullptr;
+
+Metrics::~Metrics()
+{
+    if (_attached)
+        detach();
+}
+
+void
+Metrics::attach()
+{
+    if (_attached)
+        return;
+    _prevActive = s_active;
+    s_active = this;
+    _attached = true;
+}
+
+void
+Metrics::detach()
+{
+    if (!_attached)
+        return;
+    if (s_active == this)
+        s_active = _prevActive;
+    _attached = false;
+    _prevActive = nullptr;
+}
+
+} // namespace griffin::obs

@@ -1,0 +1,248 @@
+#include "src/obs/trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "src/obs/json.hh"
+
+namespace griffin::obs {
+
+TraceSession *TraceSession::s_active = nullptr;
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case CatFault: return "fault";
+      case CatMigration: return "migration";
+      case CatShootdown: return "shootdown";
+      case CatDrain: return "drain";
+      case CatPolicy: return "policy";
+      case CatNet: return "net";
+      case CatDca: return "dca";
+    }
+    return "other";
+}
+
+// ---------------------------------------------------------------------
+// TraceArgs
+// ---------------------------------------------------------------------
+
+void
+TraceArgs::key(const char *k)
+{
+    _body += _body.empty() ? "{" : ",";
+    _body += '"';
+    _body += json::escape(k);
+    _body += "\":";
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, std::uint64_t value)
+{
+    key(k);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(value));
+    _body += buf;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, double value)
+{
+    key(k);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    _body += buf;
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, const char *value)
+{
+    key(k);
+    _body += '"';
+    _body += json::escape(value);
+    _body += '"';
+    return *this;
+}
+
+TraceArgs &
+TraceArgs::add(const char *k, const std::string &value)
+{
+    return add(k, value.c_str());
+}
+
+std::string
+TraceArgs::json() const
+{
+    return _body.empty() ? std::string() : _body + "}";
+}
+
+// ---------------------------------------------------------------------
+// TraceSession
+// ---------------------------------------------------------------------
+
+TraceSession::TraceSession(std::uint32_t categories)
+    : _categories(categories)
+{
+    _processNames.push_back("sim");
+}
+
+TraceSession::~TraceSession()
+{
+    if (_attached)
+        detach();
+}
+
+void
+TraceSession::attach()
+{
+    if (_attached)
+        return;
+    _prevActive = s_active;
+    s_active = this;
+    _attached = true;
+}
+
+void
+TraceSession::detach()
+{
+    if (!_attached)
+        return;
+    // Sessions detach LIFO in practice; tolerate out-of-order anyway.
+    if (s_active == this)
+        s_active = _prevActive;
+    _attached = false;
+    _prevActive = nullptr;
+}
+
+void
+TraceSession::beginProcess(const std::string &name)
+{
+    _pid = std::uint32_t(_processNames.size());
+    _processNames.push_back(name);
+}
+
+std::uint32_t
+TraceSession::trackId(const std::string &track)
+{
+    const auto key = std::make_pair(_pid, track);
+    auto it = _tracks.find(key);
+    if (it != _tracks.end())
+        return it->second;
+    const std::uint32_t tid = _nextTid++;
+    _tracks.emplace(key, tid);
+    _trackNames.emplace_back(_pid, track);
+    return tid;
+}
+
+void
+TraceSession::instant(Category cat, const std::string &track,
+                      const std::string &name, Tick ts,
+                      const TraceArgs &args)
+{
+    _events.push_back(Event{'i', _pid, trackId(track), ts, 0, 0.0,
+                            categoryName(cat), name, args.json()});
+}
+
+void
+TraceSession::complete(Category cat, const std::string &track,
+                       const std::string &name, Tick begin, Tick end,
+                       const TraceArgs &args)
+{
+    assert(end >= begin);
+    _events.push_back(Event{'X', _pid, trackId(track), begin, end - begin,
+                            0.0, categoryName(cat), name, args.json()});
+}
+
+void
+TraceSession::counter(Category cat, const std::string &track,
+                      const std::string &series, Tick ts, double value)
+{
+    _events.push_back(Event{'C', _pid, trackId(track), ts, 0, value,
+                            categoryName(cat), series, std::string()});
+}
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Metadata: process and thread names.
+    for (std::uint32_t pid = 0; pid < _processNames.size(); ++pid) {
+        if (pid == 0 && _processNames.size() > 1)
+            continue; // the implicit "sim" process went unused
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\""
+           << json::escape(_processNames[pid]) << "\"}}";
+    }
+    for (const auto &[pid, track] : _trackNames) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":"
+           << _tracks.at(std::make_pair(pid, track))
+           << ",\"args\":{\"name\":\"" << json::escape(track) << "\"}}";
+    }
+
+    // Events, in timestamp order (stable, so same-tick order is
+    // emission order).
+    std::vector<const Event *> sorted;
+    sorted.reserve(_events.size());
+    for (const Event &ev : _events)
+        sorted.push_back(&ev);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts < b->ts;
+                     });
+
+    for (const Event *ev : sorted) {
+        sep();
+        os << "{\"name\":\"" << json::escape(ev->name) << "\",\"cat\":\""
+           << ev->cat << "\",\"ph\":\"" << ev->ph
+           << "\",\"pid\":" << ev->pid << ",\"tid\":" << ev->tid
+           << ",\"ts\":" << ev->ts;
+        switch (ev->ph) {
+          case 'X':
+            os << ",\"dur\":" << ev->dur;
+            break;
+          case 'i':
+            os << ",\"s\":\"t\"";
+            break;
+          case 'C': {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.6g", ev->value);
+            os << ",\"args\":{\"value\":" << buf << "}}";
+            continue;
+          }
+          default:
+            break;
+        }
+        if (!ev->args.empty())
+            os << ",\"args\":" << ev->args;
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+TraceSession::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace griffin::obs

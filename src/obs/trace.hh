@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Structured trace sink: typed simulation events serialized as Chrome
+ * trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Design constraints:
+ *  - zero overhead when no session is attached: every instrumentation
+ *    point is guarded by `TraceSession::activeFor(cat)`, one static
+ *    pointer load plus a category-mask test;
+ *  - the simulated cycle count is the timebase (1 cycle = 1 "us" in
+ *    the viewer, since the model clock is 1 GHz the absolute numbers
+ *    read as nanoseconds);
+ *  - one trace "thread" per device/component (driver, iommu, gpuN,
+ *    pmcN, executor, dpc, linkN...), one trace "process" per run so a
+ *    multi-run bench produces one navigable file.
+ *
+ * The simulation is single-threaded by construction (see sim/log.hh),
+ * so the active-session pointer needs no synchronization.
+ */
+
+#ifndef GRIFFIN_OBS_TRACE_HH
+#define GRIFFIN_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::obs {
+
+/**
+ * Event categories, used both as the trace "cat" field and as an
+ * enable mask so expensive high-frequency categories (per-message
+ * link occupancy, per-line DCA service) can stay off by default.
+ */
+enum Category : std::uint32_t
+{
+    CatFault = 1u << 0,     ///< page faults, batching, parking
+    CatMigration = 1u << 1, ///< page transfers CPU->GPU and GPU->GPU
+    CatShootdown = 1u << 2, ///< TLB shootdowns (CPU- and GPU-side)
+    CatDrain = 1u << 3,     ///< ACUD drain / full-flush episodes
+    CatPolicy = 1u << 4,    ///< DPC periods, classification, CPMS
+    CatNet = 1u << 5,       ///< per-message link busy spans (hot!)
+    CatDca = 1u << 6,       ///< per-line remote DCA service (hot!)
+};
+
+/** Everything except the two per-message firehose categories. */
+inline constexpr std::uint32_t defaultCategories =
+    CatFault | CatMigration | CatShootdown | CatDrain | CatPolicy;
+
+/** Every category, including the hot ones. */
+inline constexpr std::uint32_t allCategories = 0x7f;
+
+/** The trace "cat" string for one category bit. */
+const char *categoryName(Category cat);
+
+/**
+ * Builder for an event's "args" object. Only ever constructed behind
+ * an activeFor() guard, so argument formatting costs nothing when
+ * tracing is off.
+ */
+class TraceArgs
+{
+  public:
+    TraceArgs &add(const char *key, std::uint64_t value);
+    TraceArgs &add(const char *key, unsigned value)
+    {
+        return add(key, std::uint64_t(value));
+    }
+    TraceArgs &add(const char *key, double value);
+    TraceArgs &add(const char *key, const char *value);
+    TraceArgs &add(const char *key, const std::string &value);
+
+    /** The serialized object body, "{...}"; empty string if no args. */
+    std::string json() const;
+
+  private:
+    std::string _body;
+    void key(const char *k);
+};
+
+/**
+ * One recording session. Components emit typed events into the active
+ * session; writeJson() produces a Chrome trace-event document.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(std::uint32_t categories = defaultCategories);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** @name Session attachment @{ */
+
+    /** Make this the active session (saves/restores any previous). */
+    void attach();
+
+    /** Stop recording into this session. */
+    void detach();
+
+    /** The session events are currently recorded into, or nullptr. */
+    static TraceSession *active() { return s_active; }
+
+    /**
+     * The active session iff @p cat is enabled on it; the single
+     * guard every instrumentation point uses.
+     */
+    static TraceSession *
+    activeFor(Category cat)
+    {
+        TraceSession *t = s_active;
+        return (t && (t->_categories & cat)) ? t : nullptr;
+    }
+
+    /** @} */
+
+    /**
+     * Start a new trace "process": subsequent events group under
+     * @p name. Benches call this once per run so one file holds a
+     * whole figure's worth of runs.
+     */
+    void beginProcess(const std::string &name);
+
+    /** @name Event emission @{ */
+
+    /** A point event at @p ts on @p track. */
+    void instant(Category cat, const std::string &track,
+                 const std::string &name, Tick ts,
+                 const TraceArgs &args = {});
+
+    /** A span [@p begin, @p end] on @p track. */
+    void complete(Category cat, const std::string &track,
+                  const std::string &name, Tick begin, Tick end,
+                  const TraceArgs &args = {});
+
+    /** A counter-track sample (rendered as a graph in the viewer). */
+    void counter(Category cat, const std::string &track,
+                 const std::string &series, Tick ts, double value);
+
+    /** @} */
+
+    std::size_t eventCount() const { return _events.size(); }
+    std::uint32_t categories() const { return _categories; }
+
+    /**
+     * Serialize as a Chrome trace-event JSON document. Events are
+     * sorted by timestamp (metadata first), so consumers see a
+     * monotone timeline.
+     */
+    void writeJson(std::ostream &os) const;
+    std::string json() const;
+
+  private:
+    struct Event
+    {
+        char ph; ///< 'i' instant, 'X' complete, 'C' counter
+        std::uint32_t pid;
+        std::uint32_t tid;
+        Tick ts;
+        Tick dur;        ///< complete events only
+        double value;    ///< counter events only
+        const char *cat; ///< static category name
+        std::string name;
+        std::string args;
+    };
+
+    std::uint32_t _categories;
+    std::uint32_t _pid = 0;
+    std::uint32_t _nextTid = 1;
+    std::vector<std::string> _processNames; ///< index = pid
+    /** (pid, track name) -> tid, plus the ordered name list. */
+    std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> _tracks;
+    std::vector<std::pair<std::uint32_t, std::string>> _trackNames;
+    std::vector<Event> _events;
+
+    TraceSession *_prevActive = nullptr;
+    bool _attached = false;
+
+    static TraceSession *s_active;
+
+    std::uint32_t trackId(const std::string &track);
+};
+
+} // namespace griffin::obs
+
+#endif // GRIFFIN_OBS_TRACE_HH

@@ -1,5 +1,7 @@
 #include "src/sim/engine.hh"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <string>
 
@@ -9,15 +11,62 @@ Tick
 Engine::run()
 {
     _stopRequested = false;
-    while (!_stopRequested && _queue.runOne()) {
+    for (;;) {
+        const Tick next = _queue.nextTime();
+        if (next == maxTick)
+            break; // drained
+        if (!_hooks.empty())
+            fireHooksUpTo(next);
+        if (!_queue.runOne())
+            break;
         if (_queue.now() > _maxTicks) {
             throw std::runtime_error(
                 "simulation watchdog tripped at tick " +
                 std::to_string(_queue.now()) +
                 ": model is likely livelocked");
         }
+        if (_stopRequested)
+            break;
     }
     return _queue.now();
+}
+
+std::uint64_t
+Engine::addPeriodicHook(Tick period, HookFn fn)
+{
+    assert(period > 0);
+    const std::uint64_t id = _nextHookId++;
+    // First boundary: the next multiple of period strictly after now.
+    const Tick next = (now() / period + 1) * period;
+    _hooks.push_back(Hook{id, period, next, std::move(fn)});
+    return id;
+}
+
+void
+Engine::removePeriodicHook(std::uint64_t id)
+{
+    _hooks.erase(std::remove_if(_hooks.begin(), _hooks.end(),
+                                [id](const Hook &h) { return h.id == id; }),
+                 _hooks.end());
+}
+
+void
+Engine::fireHooksUpTo(Tick limit)
+{
+    // Fire all boundaries <= limit in global time order so multiple
+    // hooks interleave deterministically.
+    for (;;) {
+        Hook *earliest = nullptr;
+        for (Hook &h : _hooks) {
+            if (h.next <= limit && (!earliest || h.next < earliest->next))
+                earliest = &h;
+        }
+        if (!earliest)
+            return;
+        const Tick boundary = earliest->next;
+        earliest->next += earliest->period;
+        earliest->fn(boundary);
+    }
 }
 
 } // namespace griffin::sim

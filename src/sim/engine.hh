@@ -8,7 +8,10 @@
 #ifndef GRIFFIN_SIM_ENGINE_HH
 #define GRIFFIN_SIM_ENGINE_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "src/sim/event_queue.hh"
 #include "src/sim/types.hh"
@@ -68,10 +71,45 @@ class Engine
     /** The underlying queue, for tests that need fine-grained control. */
     EventQueue &queue() { return _queue; }
 
+    /** @name Periodic hooks (observability sampling) @{ */
+
+    /** Called at each elapsed period boundary with the boundary tick. */
+    using HookFn = std::function<void(Tick)>;
+
+    /**
+     * Register @p fn to run every @p period cycles while run() makes
+     * progress. Hooks piggyback on the event loop: a boundary fires
+     * just before the first event at-or-after it executes, observing
+     * the piecewise-constant simulation state that held at the
+     * boundary. Hooks never keep the simulation alive and never
+     * advance now() — the run ends exactly when the real workload
+     * does. (runUntil() bypasses hooks; only run() services them.)
+     *
+     * @return an id for removePeriodicHook().
+     */
+    std::uint64_t addPeriodicHook(Tick period, HookFn fn);
+
+    /** Deregister a hook; unknown ids are ignored. */
+    void removePeriodicHook(std::uint64_t id);
+
+    /** @} */
+
   private:
+    struct Hook
+    {
+        std::uint64_t id;
+        Tick period;
+        Tick next;
+        HookFn fn;
+    };
+
     EventQueue _queue;
     Tick _maxTicks;
     bool _stopRequested = false;
+    std::vector<Hook> _hooks;
+    std::uint64_t _nextHookId = 1;
+
+    void fireHooksUpTo(Tick limit);
 };
 
 } // namespace griffin::sim

@@ -52,6 +52,13 @@ class EventQueue
     /** True when no events remain. */
     bool empty() const { return _heap.empty(); }
 
+    /** Time of the earliest pending event; maxTick when empty. */
+    Tick
+    nextTime() const
+    {
+        return _heap.empty() ? maxTick : _heap.top().when;
+    }
+
     /** Number of pending events. */
     std::size_t size() const { return _heap.size(); }
 

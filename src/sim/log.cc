@@ -1,6 +1,9 @@
 #include "src/sim/log.hh"
 
 #include <iostream>
+#include <string>
+
+#include "src/sim/engine.hh"
 
 namespace griffin::sim {
 
@@ -40,15 +43,32 @@ Log::resetSink()
 }
 
 void
+Log::setClock(const Engine *engine)
+{
+    instance()._clock = engine;
+}
+
+void
 Log::write(LogLevel lvl, const std::string &msg)
 {
     if (!enabled(lvl))
         return;
     auto &log = instance();
+    // The tick prefix is applied to the message itself (not just the
+    // default sink) so captured output stays time-correlatable too.
+    // Built with append() rather than an operator+ chain to dodge a
+    // GCC 12 -Wrestrict false positive (PR105651) at -O2 and above.
+    std::string line;
+    if (log._clock) {
+        line += '[';
+        line += std::to_string(log._clock->now());
+        line += "] ";
+    }
+    line += msg;
     if (log._sink) {
-        log._sink(lvl, msg);
+        log._sink(lvl, line);
     } else {
-        std::cerr << "[" << levelName(lvl) << "] " << msg << "\n";
+        std::cerr << "[" << levelName(lvl) << "] " << line << "\n";
     }
 }
 

@@ -5,6 +5,11 @@
  * Logging defaults to off (Warn); benches and examples enable Info or
  * Trace to watch the migration machinery work. All output goes through
  * one sink so tests can capture it.
+ *
+ * When a simulation engine is registered as the clock (MultiGpuSystem
+ * does this for its lifetime), every message is prefixed with the
+ * current simulated tick — "[12345] msg" — so log lines correlate
+ * directly with trace-event timestamps.
  */
 
 #ifndef GRIFFIN_SIM_LOG_HH
@@ -17,6 +22,8 @@
 #include "src/sim/types.hh"
 
 namespace griffin::sim {
+
+class Engine;
 
 /** Severity levels, in increasing verbosity. */
 enum class LogLevel { Error, Warn, Info, Trace };
@@ -40,6 +47,16 @@ class Log
     /** Restore the default stderr sink. */
     static void resetSink();
 
+    /**
+     * Borrow @p engine as the timestamp source: subsequent messages
+     * are prefixed with "[tick] ". Pass nullptr to drop the prefix.
+     * The engine must outlive the registration.
+     */
+    static void setClock(const Engine *engine);
+
+    /** The currently borrowed clock (nullptr when none). */
+    static const Engine *clock() { return instance()._clock; }
+
     /** Emit a message if @p lvl is enabled. */
     static void write(LogLevel lvl, const std::string &msg);
 
@@ -51,6 +68,7 @@ class Log
 
     LogLevel _level = LogLevel::Warn;
     Sink _sink;
+    const Engine *_clock = nullptr;
 };
 
 /**

@@ -94,12 +94,21 @@ Histogram::percentile(double p) const
 {
     if (_count == 0)
         return 0.0;
+    if (p <= 0.0)
+        return _min;
+    if (p >= 100.0)
+        return _max;
     const double target = p / 100.0 * double(_count);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < _buckets.size(); ++i) {
         seen += _buckets[i];
-        if (double(seen) >= target)
-            return double(i + 1) * _bucketWidth;
+        if (double(seen) >= target) {
+            // The overflow bucket has no upper edge; report the
+            // observed maximum instead of a fabricated boundary.
+            if (i + 1 == _buckets.size())
+                return _max;
+            return std::clamp(double(i + 1) * _bucketWidth, _min, _max);
+        }
     }
     return _max;
 }

@@ -94,7 +94,22 @@ class Histogram
     /** Bucket counts; the final element is the overflow bucket. */
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
 
-    /** Approximate p-th percentile (0 < p < 100) from the buckets. */
+    double bucketWidth() const { return _bucketWidth; }
+
+    /**
+     * Approximate p-th percentile from the buckets.
+     *
+     * Defined behavior at the edges:
+     *  - empty histogram: 0;
+     *  - p <= 0: min(); p >= 100: max();
+     *  - otherwise: the upper edge of the first bucket whose
+     *    cumulative count reaches ceil-wise p% of count(), clamped
+     *    into [min(), max()]. The clamp makes a single-sample
+     *    histogram return that sample for every p, and keeps results
+     *    inside the observed range at bucket boundaries;
+     *  - samples resolving to the overflow bucket report max(), since
+     *    the overflow bucket has no meaningful upper edge.
+     */
     double percentile(double p) const;
 
   private:

@@ -93,9 +93,17 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
 
     _dispatcher = std::make_unique<gpu::Dispatcher>(
         _engine, gpu_ptrs, config.dispatchLatency);
+
+    // Timestamp log lines with this system's clock for its lifetime.
+    _prevLogClock = sim::Log::clock();
+    sim::Log::setClock(&_engine);
 }
 
-MultiGpuSystem::~MultiGpuSystem() = default;
+MultiGpuSystem::~MultiGpuSystem()
+{
+    if (sim::Log::clock() == &_engine)
+        sim::Log::setClock(_prevLogClock);
+}
 
 void
 MultiGpuSystem::remoteAccess(DeviceId requester, DeviceId owner,
@@ -105,6 +113,16 @@ MultiGpuSystem::remoteAccess(DeviceId requester, DeviceId owner,
     const std::uint64_t req_bytes = is_write
         ? ic::MessageSizes::dcaWriteRequest
         : ic::MessageSizes::dcaReadRequest;
+
+    if (obs::Metrics::active()) {
+        const Tick begin = _engine.now();
+        done = [this, begin, done = std::move(done)] {
+            if (auto *m = obs::Metrics::active())
+                m->latency.remoteAccessLatency.sample(
+                    double(_engine.now() - begin));
+            done();
+        };
+    }
 
     _network->send(requester, owner, req_bytes,
                    [this, requester, owner, addr, is_write,
@@ -135,6 +153,49 @@ MultiGpuSystem::setAccessProbe(gpu::Gpu::AccessProbe probe)
         g->setAccessProbe(probe);
 }
 
+void
+MultiGpuSystem::registerProbes(obs::Sampler &sampler)
+{
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev) {
+        const std::string name = dev == cpuDeviceId
+            ? std::string("pages.cpu")
+            : "pages.gpu" + std::to_string(dev);
+        sampler.add(name, [this, dev] {
+            return double(_pageTable.residentPages(DeviceId(dev)));
+        });
+    }
+
+    // Link utilization: busy fraction of each wire since the previous
+    // sample (delta-based, so the probes are stateful).
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev) {
+        for (unsigned dir = 0; dir < 2; ++dir) {
+            const std::string name = "link" + std::to_string(dev) +
+                                     (dir == 0 ? ".up" : ".down");
+            sampler.add(name, [this, dev, dir, prev_busy = Tick(0),
+                               prev_tick = Tick(0)]() mutable {
+                const Tick busy =
+                    Tick(_network->link(DeviceId(dev)).busyCycles[dir]);
+                const Tick now = _engine.now();
+                const double util = now > prev_tick
+                    ? double(busy - prev_busy) / double(now - prev_tick)
+                    : 0.0;
+                prev_busy = busy;
+                prev_tick = now;
+                return util;
+            });
+        }
+    }
+
+    sampler.add("faults.pending",
+                [this] { return double(_driver->pendingFaults()); });
+    sampler.add("iommu.activeWalks",
+                [this] { return double(_iommu->activeWalks()); });
+    for (unsigned g = 0; g < numGpus(); ++g) {
+        sampler.add("gpu" + std::to_string(g + 1) + ".busyCus",
+                    [this, g] { return double(_gpus[g]->busyCus()); });
+    }
+}
+
 RunResult
 MultiGpuSystem::run(wl::Workload &workload)
 {
@@ -143,6 +204,15 @@ MultiGpuSystem::run(wl::Workload &workload)
 
     GLOG(Info, "run: " << workload.name() << " under "
                        << _policy->name());
+
+    // Collect latency histograms for the run. The guard detaches even
+    // if the watchdog throws.
+    struct MetricsGuard
+    {
+        obs::Metrics &m;
+        explicit MetricsGuard(obs::Metrics &mm) : m(mm) { m.attach(); }
+        ~MetricsGuard() { m.detach(); }
+    } metrics_guard(_metrics);
 
     _policy->onSystemStart();
 
@@ -203,6 +273,16 @@ MultiGpuSystem::collectResults()
     st.set("iommu.dcaRedirects", double(_iommu->dcaRedirects));
     st.set("pageTable.migrations", double(_pageTable.migrations()));
     st.set("pageTable.totalPages", double(_pageTable.totalPages()));
+    st.set("network.messages", double(_network->messagesDelivered));
+
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev) {
+        const auto &lk = _network->link(DeviceId(dev));
+        const std::string p = "link" + std::to_string(dev) + ".";
+        st.set(p + "upBytes", double(lk.bytesSent[0]));
+        st.set(p + "downBytes", double(lk.bytesSent[1]));
+        st.set(p + "upBusyCycles", double(lk.busyCycles[0]));
+        st.set(p + "downBusyCycles", double(lk.busyCycles[1]));
+    }
 
     for (unsigned g = 0; g < numGpus(); ++g) {
         auto &gp = *_gpus[g];
@@ -252,6 +332,8 @@ MultiGpuSystem::collectResults()
                    double(dpc.classCounts[c]));
         }
     }
+
+    result.latency = _metrics.latency;
 
     return result;
 }

@@ -26,6 +26,8 @@
 #include "src/mem/cache.hh"
 #include "src/mem/dram.hh"
 #include "src/mem/page_table.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/sampler.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/stats.hh"
 #include "src/sys/system_config.hh"
@@ -51,6 +53,8 @@ struct RunResult
     std::uint64_t pagesMigratedInterGpu = 0;
     /** Full stat dump (per-component counters, prefixed names). */
     sim::StatSet stats;
+    /** Latency distributions (fault, migration, remote access). */
+    obs::LatencyHistograms latency;
 
     double
     localFraction() const
@@ -112,6 +116,14 @@ class MultiGpuSystem : public gpu::RemoteRouter
     /** Install a per-access probe on every GPU (benches). */
     void setAccessProbe(gpu::Gpu::AccessProbe probe);
 
+    /**
+     * Register the standard probe set on @p sampler: per-device page
+     * residency, per-link utilization (busy fraction since the last
+     * sample), pending faults, per-GPU busy CUs, and active IOMMU
+     * walks. Call before sampler.start(engine(), period).
+     */
+    void registerProbes(obs::Sampler &sampler);
+
   private:
     SystemConfig _config;
     sim::Engine _engine;
@@ -127,6 +139,11 @@ class MultiGpuSystem : public gpu::RemoteRouter
     std::unique_ptr<gpu::Dispatcher> _dispatcher;
     std::unique_ptr<core::MigrationPolicy> _policy;
     core::GriffinPolicy *_griffinPolicy = nullptr;
+
+    /** Run-level latency histograms, attached for the run's duration. */
+    obs::Metrics _metrics;
+    /** The log clock that was registered before this system's engine. */
+    const sim::Engine *_prevLogClock = nullptr;
 
     bool _ran = false;
 

@@ -7,6 +7,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/obs/sampler.hh"
+#include "src/sim/stats.hh"
+#include "src/sys/multi_gpu_system.hh"
+#include "src/sys/system_config.hh"
+
 namespace griffin::sys {
 
 double
@@ -92,6 +97,120 @@ void
 Table::print(std::ostream &os) const
 {
     os << str();
+}
+
+obs::json::Value
+histogramJson(const sim::Histogram &hist)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["count"] = hist.count();
+    v["mean"] = hist.mean();
+    v["min"] = hist.min();
+    v["max"] = hist.max();
+    v["p50"] = hist.percentile(50.0);
+    v["p95"] = hist.percentile(95.0);
+    v["p99"] = hist.percentile(99.0);
+    v["bucketWidth"] = hist.bucketWidth();
+    obs::json::Value buckets = obs::json::Value::array();
+    const auto &b = hist.buckets();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (b[i] == 0)
+            continue;
+        obs::json::Value entry = obs::json::Value::array();
+        entry.push(std::uint64_t(i));
+        entry.push(b[i]);
+        buckets.push(std::move(entry));
+    }
+    v["buckets"] = std::move(buckets);
+    return v;
+}
+
+obs::json::Value
+configJson(const SystemConfig &config)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["policy"] = config.policy == PolicyKind::Griffin ? "griffin"
+                                                       : "first-touch";
+    v["numGpus"] = config.numGpus;
+    v["pageShift"] = config.gpu.pageShift;
+    v["cusPerGpu"] = config.gpu.numCus();
+    v["linkBytesPerCycle"] = config.link.bytesPerCycle;
+    v["linkLatency"] = std::uint64_t(config.link.latency);
+    v["cpuFlushPenalty"] = std::uint64_t(config.cpuFlushPenalty);
+    v["seed"] = config.seed;
+    if (config.policy == PolicyKind::Griffin) {
+        obs::json::Value g = obs::json::Value::object();
+        g["enableDftm"] = config.griffin.enableDftm;
+        g["enableInterGpuMigration"] =
+            config.griffin.enableInterGpuMigration;
+        g["useAcud"] = config.griffin.useAcud;
+        g["nPtw"] = config.griffin.nPtw;
+        g["alpha"] = config.griffin.alpha;
+        g["tAc"] = std::uint64_t(config.griffin.tAc);
+        v["griffin"] = std::move(g);
+    }
+    return v;
+}
+
+obs::json::Value
+runReportJson(const std::string &label, const SystemConfig &config,
+              const RunResult &result, const obs::Sampler *sampler)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["label"] = label;
+    v["config"] = configJson(config);
+
+    obs::json::Value r = obs::json::Value::object();
+    r["cycles"] = std::uint64_t(result.cycles);
+    obs::json::Value pages = obs::json::Value::array();
+    for (const std::uint64_t n : result.pagesPerDevice)
+        pages.push(n);
+    r["pagesPerDevice"] = std::move(pages);
+    r["cpuShootdowns"] = result.cpuShootdowns;
+    r["gpuShootdowns"] = result.gpuShootdowns;
+    r["localAccesses"] = result.localAccesses;
+    r["remoteAccesses"] = result.remoteAccesses;
+    r["localFraction"] = result.localFraction();
+    r["pagesMigratedFromCpu"] = result.pagesMigratedFromCpu;
+    r["pagesMigratedInterGpu"] = result.pagesMigratedInterGpu;
+    v["result"] = std::move(r);
+
+    obs::json::Value counters = obs::json::Value::object();
+    for (const auto &[name, value] : result.stats.all())
+        counters[name] = value;
+    v["counters"] = std::move(counters);
+
+    obs::json::Value hists = obs::json::Value::object();
+    hists["faultLatency"] = histogramJson(result.latency.faultLatency);
+    hists["cpuMigrationLatency"] =
+        histogramJson(result.latency.cpuMigrationLatency);
+    hists["interGpuMigrationLatency"] =
+        histogramJson(result.latency.interGpuMigrationLatency);
+    hists["remoteAccessLatency"] =
+        histogramJson(result.latency.remoteAccessLatency);
+    v["histograms"] = std::move(hists);
+
+    if (sampler) {
+        obs::json::Value s = obs::json::Value::object();
+        s["period"] = std::uint64_t(sampler->period());
+        obs::json::Value cols = obs::json::Value::array();
+        cols.push("tick");
+        for (const auto &c : sampler->columns())
+            cols.push(c);
+        s["columns"] = std::move(cols);
+        obs::json::Value rows = obs::json::Value::array();
+        for (const auto &row : sampler->rows()) {
+            obs::json::Value jr = obs::json::Value::array();
+            jr.push(std::uint64_t(row.tick));
+            for (const double val : row.values)
+                jr.push(val);
+            rows.push(std::move(jr));
+        }
+        s["rows"] = std::move(rows);
+        v["samples"] = std::move(s);
+    }
+
+    return v;
 }
 
 std::string

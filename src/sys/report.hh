@@ -1,8 +1,9 @@
 /**
  * @file
  * Report helpers shared by the benches: fixed-width tables, CSV
- * emission, geometric means, and simple ASCII bar rows — everything
- * needed to print the paper's figures as text.
+ * emission, geometric means, simple ASCII bar rows — and the JSON run
+ * report, the machine-readable record of one workload run (config,
+ * counters, latency histograms with percentiles, optional samples).
  */
 
 #ifndef GRIFFIN_SYS_REPORT_HH
@@ -13,7 +14,20 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/json.hh"
+
+namespace griffin::sim {
+class Histogram;
+} // namespace griffin::sim
+
+namespace griffin::obs {
+class Sampler;
+} // namespace griffin::obs
+
 namespace griffin::sys {
+
+struct RunResult;
+struct SystemConfig;
 
 /** Geometric mean of @p values (must all be > 0; empty -> 0). */
 double geomean(const std::vector<double> &values);
@@ -51,6 +65,30 @@ class Table
  * occupancy or speedup figures: "MT  |######----| 1.62".
  */
 std::string asciiBar(double value, double max_value, int width = 40);
+
+/** @name JSON run report @{ */
+
+/**
+ * One histogram as JSON: {count, mean, min, max, p50, p95, p99,
+ * bucketWidth, buckets}. Buckets are emitted sparsely as
+ * [[index, count], ...] so idle histograms stay tiny.
+ */
+obs::json::Value histogramJson(const sim::Histogram &hist);
+
+/** The run-relevant SystemConfig fields as a JSON object. */
+obs::json::Value configJson(const SystemConfig &config);
+
+/**
+ * The full report of one run:
+ * {label, config, result, counters, histograms[, samples]}.
+ * @p sampler may be nullptr (no "samples" member then).
+ */
+obs::json::Value runReportJson(const std::string &label,
+                               const SystemConfig &config,
+                               const RunResult &result,
+                               const obs::Sampler *sampler = nullptr);
+
+/** @} */
 
 } // namespace griffin::sys
 

@@ -3,9 +3,15 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::xlat {
+
+namespace {
+/** The IOMMU's trace track. */
+const std::string kTrack = "iommu";
+} // namespace
 
 Iommu::Iommu(sim::Engine &engine, ic::Network &network, mem::PageTable &pt,
              const IommuConfig &config)
@@ -84,6 +90,13 @@ Iommu::resolve(Request req)
 
     if (pi.migrating) {
         ++parkedRequests;
+        if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+            tr->instant(obs::CatFault, kTrack, "request_parked",
+                        _engine.now(),
+                        obs::TraceArgs()
+                            .add("gpu", req.requester)
+                            .add("page", req.page));
+        }
         _parked[req.page].push_back(std::move(req));
         return;
     }
@@ -99,9 +112,24 @@ Iommu::resolve(Request req)
             _parked[page].push_back(std::move(req));
             GLOG(Trace, "iommu: fault page " << page << " -> gpu "
                                              << requester);
+            if (auto *tr =
+                    obs::TraceSession::activeFor(obs::CatFault)) {
+                tr->instant(obs::CatFault, kTrack, "fault_raised",
+                            _engine.now(),
+                            obs::TraceArgs()
+                                .add("gpu", requester)
+                                .add("page", page));
+            }
             _faultHandler->onPageFault(requester, page);
         } else {
             ++dcaRedirects;
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatDca)) {
+                tr->instant(obs::CatDca, kTrack, "dca_redirect",
+                            _engine.now(),
+                            obs::TraceArgs()
+                                .add("gpu", req.requester)
+                                .add("page", req.page));
+            }
             // DCA to CPU memory: translation is never cacheable, so
             // the policy sees the next access too (second touch).
             reply(req, XlatReply{cpuDeviceId, false});

@@ -126,8 +126,9 @@ TEST(Properties, AcudBeatsFlushingWhenMigrationIsActive)
     sys::SystemConfig flush_cfg = sys::SystemConfig::griffinDefault();
     flush_cfg.griffin.useAcud = false;
     const auto flush = runOne("SC", flush_cfg);
-    if (acud.pagesMigratedInterGpu > 20)
+    if (acud.pagesMigratedInterGpu > 20) {
         EXPECT_LE(acud.cycles, flush.cycles);
+    }
 }
 
 TEST(Properties, ComponentTogglesActuallyDisable)
@@ -147,7 +148,7 @@ TEST(Properties, ComponentTogglesActuallyDisable)
 
 TEST(Properties, HigherBandwidthNeverSlowsTheSystem)
 {
-    for (const auto policy : {sys::SystemConfig::baseline(),
+    for (const auto &policy : {sys::SystemConfig::baseline(),
                               sys::SystemConfig::griffinDefault()}) {
         sys::SystemConfig hbw = policy;
         hbw.withHighBandwidthFabric();

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the JSON document model: building, serialization,
+ * strict parsing, round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.hh"
+
+using griffin::obs::json::Value;
+using griffin::obs::json::escape;
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(Value().dump(), "null");
+    EXPECT_EQ(Value(true).dump(), "true");
+    EXPECT_EQ(Value(false).dump(), "false");
+    EXPECT_EQ(Value(42).dump(), "42");
+    EXPECT_EQ(Value(2.5).dump(), "2.5");
+    EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersDumpWithoutFraction)
+{
+    EXPECT_EQ(Value(std::uint64_t(1000000)).dump(), "1000000");
+    EXPECT_EQ(Value(-3).dump(), "-3");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Value v = Value::object();
+    v["zeta"] = 1;
+    v["alpha"] = 2;
+    EXPECT_EQ(v.dump(), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(Json, ArrayPushAndAt)
+{
+    Value v = Value::array();
+    v.push(1);
+    v.push("two");
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v.at(0).asNumber(), 1.0);
+    EXPECT_EQ(v.at(1).asString(), "two");
+    EXPECT_EQ(v.dump(), "[1,\"two\"]");
+}
+
+TEST(Json, EscapeControlAndSpecialCharacters)
+{
+    EXPECT_EQ(escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(escape("a\nb"), "a\\nb");
+    // Split the literal so 'b' is not swallowed by the hex escape.
+    EXPECT_EQ(escape(std::string("a\x01"
+                                 "b")),
+              "a\\u0001b");
+}
+
+TEST(Json, ParseRoundTripsADocument)
+{
+    Value v = Value::object();
+    v["name"] = "run";
+    v["cycles"] = std::uint64_t(123456);
+    v["ratio"] = 0.5;
+    v["ok"] = true;
+    Value arr = Value::array();
+    arr.push(1);
+    arr.push(2);
+    v["list"] = std::move(arr);
+
+    const auto parsed = Value::parse(v.dump());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("name")->asString(), "run");
+    EXPECT_DOUBLE_EQ(parsed->find("cycles")->asNumber(), 123456.0);
+    EXPECT_DOUBLE_EQ(parsed->find("ratio")->asNumber(), 0.5);
+    EXPECT_TRUE(parsed->find("ok")->asBool());
+    ASSERT_NE(parsed->find("list"), nullptr);
+    EXPECT_EQ(parsed->find("list")->size(), 2u);
+    // The re-dump is byte-identical: objects keep insertion order.
+    EXPECT_EQ(parsed->dump(), v.dump());
+}
+
+TEST(Json, ParsePrettyPrintedOutput)
+{
+    Value v = Value::object();
+    v["a"] = 1;
+    Value inner = Value::object();
+    inner["b"] = Value::array();
+    v["nested"] = std::move(inner);
+    const auto parsed = Value::parse(v.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->find("a")->asNumber(), 1.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(Value::parse("").has_value());
+    EXPECT_FALSE(Value::parse("{").has_value());
+    EXPECT_FALSE(Value::parse("[1,]").has_value());
+    EXPECT_FALSE(Value::parse("{\"a\":1,}").has_value());
+    EXPECT_FALSE(Value::parse("{'a':1}").has_value());
+    EXPECT_FALSE(Value::parse("nul").has_value());
+    EXPECT_FALSE(Value::parse("1 2").has_value()); // trailing garbage
+    EXPECT_FALSE(Value::parse("\"unterminated").has_value());
+}
+
+TEST(Json, ParseAcceptsNumbersInAllForms)
+{
+    EXPECT_DOUBLE_EQ(Value::parse("-0.5")->asNumber(), -0.5);
+    EXPECT_DOUBLE_EQ(Value::parse("1e3")->asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(Value::parse("2.5E-1")->asNumber(), 0.25);
+}
+
+TEST(Json, FindOnMissingKeyIsNull)
+{
+    Value v = Value::object();
+    v["present"] = 1;
+    EXPECT_EQ(v.find("absent"), nullptr);
+    EXPECT_NE(v.find("present"), nullptr);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the periodic sampler: deterministic row counts, probe
+ * evaluation, CSV shape, hook deregistration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/sampler.hh"
+#include "src/sim/engine.hh"
+
+using griffin::Tick;
+using griffin::obs::Sampler;
+using griffin::sim::Engine;
+
+TEST(Sampler, RowCountIsDeterministicForAFixedRun)
+{
+    Engine e;
+    Sampler s;
+    s.add("const", [] { return 1.0; });
+    s.start(e, 100);
+    e.schedule(350, [] {});
+    e.run();
+    // One row at start() plus boundaries 100, 200, 300:
+    // 1 + floor(350 / 100) = 4.
+    ASSERT_EQ(s.rows().size(), 4u);
+    EXPECT_EQ(s.rows()[0].tick, 0u);
+    EXPECT_EQ(s.rows()[1].tick, 100u);
+    EXPECT_EQ(s.rows()[2].tick, 200u);
+    EXPECT_EQ(s.rows()[3].tick, 300u);
+}
+
+TEST(Sampler, SamplingNeverExtendsTheRun)
+{
+    Engine e;
+    Sampler s;
+    s.add("x", [] { return 0.0; });
+    s.start(e, 1000);
+    e.schedule(42, [] {});
+    EXPECT_EQ(e.run(), 42u);
+    EXPECT_EQ(s.rows().size(), 1u); // only the initial sample
+}
+
+TEST(Sampler, ProbesSeeLiveState)
+{
+    Engine e;
+    int value = 0;
+    Sampler s;
+    s.add("v", [&] { return double(value); });
+    s.start(e, 10);
+    e.schedule(5, [&] { value = 7; });
+    e.schedule(15, [&] { value = 9; });
+    e.run();
+    // Rows at 0 (start), 10 (between the events), and... the run ends
+    // at 15, so boundary 20 never fires.
+    ASSERT_EQ(s.rows().size(), 2u);
+    EXPECT_DOUBLE_EQ(s.rows()[0].values[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.rows()[1].values[0], 7.0);
+}
+
+TEST(Sampler, StopDeregistersFromTheEngine)
+{
+    Engine e;
+    Sampler s;
+    s.add("x", [] { return 1.0; });
+    s.start(e, 10);
+    s.stop();
+    e.schedule(100, [] {});
+    e.run();
+    EXPECT_EQ(s.rows().size(), 1u); // the immediate start() sample only
+}
+
+TEST(Sampler, CsvHasHeaderAndOneLinePerRow)
+{
+    Engine e;
+    Sampler s;
+    s.add("alpha", [] { return 1.5; });
+    s.add("beta", [] { return 2.0; });
+    s.start(e, 50);
+    e.schedule(60, [] {});
+    e.run();
+
+    const std::string csv = s.csv();
+    EXPECT_EQ(csv.rfind("tick,alpha,beta\n", 0), 0u);
+    // Header + 2 rows = 3 newline-terminated lines.
+    std::size_t lines = 0;
+    for (const char c : csv)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 3u);
+}
+
+TEST(Sampler, MultipleSamplersCoexist)
+{
+    Engine e;
+    Sampler a, b;
+    a.add("x", [] { return 1.0; });
+    b.add("y", [] { return 2.0; });
+    a.start(e, 10);
+    b.start(e, 25);
+    e.schedule(50, [] {});
+    e.run();
+    EXPECT_EQ(a.rows().size(), 6u); // 0, 10, 20, 30, 40, 50
+    EXPECT_EQ(b.rows().size(), 3u); // 0, 25, 50
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the trace sink: attachment/guard semantics, category
+ * gating, Chrome trace-event JSON shape, timestamp ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
+
+using namespace griffin;
+using obs::CatDrain;
+using obs::CatFault;
+using obs::CatNet;
+using obs::TraceArgs;
+using obs::TraceSession;
+
+TEST(TraceSession, NothingActiveByDefault)
+{
+    EXPECT_EQ(TraceSession::active(), nullptr);
+    EXPECT_EQ(TraceSession::activeFor(CatFault), nullptr);
+}
+
+TEST(TraceSession, AttachDetachRestoresPrevious)
+{
+    TraceSession outer;
+    outer.attach();
+    EXPECT_EQ(TraceSession::active(), &outer);
+    {
+        TraceSession inner;
+        inner.attach();
+        EXPECT_EQ(TraceSession::active(), &inner);
+        inner.detach();
+    }
+    EXPECT_EQ(TraceSession::active(), &outer);
+    outer.detach();
+    EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(TraceSession, DestructorDetaches)
+{
+    {
+        TraceSession t;
+        t.attach();
+        EXPECT_NE(TraceSession::active(), nullptr);
+    }
+    EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(TraceSession, CategoryMaskGatesActiveFor)
+{
+    TraceSession t(CatFault | CatDrain);
+    t.attach();
+    EXPECT_EQ(TraceSession::activeFor(CatFault), &t);
+    EXPECT_EQ(TraceSession::activeFor(CatDrain), &t);
+    EXPECT_EQ(TraceSession::activeFor(CatNet), nullptr);
+    t.detach();
+}
+
+TEST(TraceSession, DefaultCategoriesExcludeHotOnes)
+{
+    TraceSession t; // defaults
+    t.attach();
+    EXPECT_NE(TraceSession::activeFor(CatFault), nullptr);
+    EXPECT_EQ(TraceSession::activeFor(CatNet), nullptr);
+    EXPECT_EQ(TraceSession::activeFor(obs::CatDca), nullptr);
+    t.detach();
+}
+
+TEST(TraceSession, JsonIsWellFormedAndComplete)
+{
+    TraceSession t;
+    t.beginProcess("run-one");
+    t.instant(CatFault, "driver", "page_fault", 100,
+              TraceArgs().add("page", std::uint64_t(7)));
+    t.complete(CatDrain, "gpu1", "acud_drain", 200, 450,
+               TraceArgs().add("pages", 3u));
+    t.counter(CatFault, "driver", "pending", 300, 5.0);
+
+    const auto doc = obs::json::Value::parse(t.json());
+    ASSERT_TRUE(doc.has_value()) << t.json();
+    const auto *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    int instants = 0, completes = 0, counters = 0, metas = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        const std::string ph = e.find("ph")->asString();
+        if (ph == "i")
+            ++instants;
+        else if (ph == "X")
+            ++completes;
+        else if (ph == "C")
+            ++counters;
+        else if (ph == "M")
+            ++metas;
+    }
+    EXPECT_EQ(instants, 1);
+    EXPECT_EQ(completes, 1);
+    EXPECT_EQ(counters, 1);
+    // process_name for the run + thread_name per track (2 tracks).
+    EXPECT_GE(metas, 3);
+}
+
+TEST(TraceSession, EventTimestampsAreMonotone)
+{
+    TraceSession t;
+    t.beginProcess("run");
+    // Emit out of order; serialization sorts.
+    t.instant(CatFault, "a", "late", 500);
+    t.instant(CatFault, "a", "early", 100);
+    t.complete(CatFault, "b", "span", 200, 300);
+
+    const auto doc = obs::json::Value::parse(t.json());
+    ASSERT_TRUE(doc.has_value());
+    const auto *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    double prev = -1.0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        if (e.find("ph")->asString() == "M")
+            continue; // metadata leads
+        const double ts = e.find("ts")->asNumber();
+        EXPECT_GE(ts, prev);
+        prev = ts;
+    }
+}
+
+TEST(TraceSession, CompleteEventCarriesDuration)
+{
+    TraceSession t;
+    t.complete(CatFault, "x", "span", 100, 175);
+    const auto doc = obs::json::Value::parse(t.json());
+    ASSERT_TRUE(doc.has_value());
+    const auto *events = doc->find("traceEvents");
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        if (e.find("ph")->asString() != "X")
+            continue;
+        EXPECT_DOUBLE_EQ(e.find("ts")->asNumber(), 100.0);
+        EXPECT_DOUBLE_EQ(e.find("dur")->asNumber(), 75.0);
+        return;
+    }
+    FAIL() << "no complete event found";
+}
+
+TEST(TraceSession, ProcessesSeparateRuns)
+{
+    TraceSession t;
+    t.beginProcess("first");
+    t.instant(CatFault, "driver", "a", 1);
+    t.beginProcess("second");
+    t.instant(CatFault, "driver", "b", 2);
+
+    const auto doc = obs::json::Value::parse(t.json());
+    const auto *events = doc->find("traceEvents");
+    double pid_a = -1, pid_b = -1;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        if (e.find("ph")->asString() != "i")
+            continue;
+        if (e.find("name")->asString() == "a")
+            pid_a = e.find("pid")->asNumber();
+        if (e.find("name")->asString() == "b")
+            pid_b = e.find("pid")->asNumber();
+    }
+    EXPECT_GE(pid_a, 0.0);
+    EXPECT_GE(pid_b, 0.0);
+    EXPECT_NE(pid_a, pid_b);
+}
+
+TEST(TraceArgs, FormatsAllValueKinds)
+{
+    const std::string body = TraceArgs()
+                                 .add("u", std::uint64_t(18446744073709551615ull))
+                                 .add("d", 0.5)
+                                 .add("s", "text")
+                                 .json();
+    EXPECT_NE(body.find("\"u\":18446744073709551615"), std::string::npos);
+    EXPECT_NE(body.find("\"d\":0.5"), std::string::npos);
+    EXPECT_NE(body.find("\"s\":\"text\""), std::string::npos);
+}
+
+TEST(Metrics, AttachDetachMirrorsTraceSession)
+{
+    EXPECT_EQ(obs::Metrics::active(), nullptr);
+    {
+        obs::Metrics m;
+        m.attach();
+        EXPECT_EQ(obs::Metrics::active(), &m);
+        m.latency.faultLatency.sample(100.0);
+        EXPECT_EQ(obs::Metrics::active()->latency.faultLatency.count(),
+                  1u);
+    }
+    EXPECT_EQ(obs::Metrics::active(), nullptr);
+}

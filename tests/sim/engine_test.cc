@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "src/sim/engine.hh"
 
@@ -84,4 +86,70 @@ TEST(Engine, EventsExecutedAccumulates)
         e.schedule(Tick(i), [] {});
     e.run();
     EXPECT_EQ(e.eventsExecuted(), 5u);
+}
+
+TEST(Engine, PeriodicHookFiresOnBoundariesBetweenEvents)
+{
+    Engine e;
+    std::vector<Tick> fires;
+    e.addPeriodicHook(10, [&](Tick t) { fires.push_back(t); });
+    e.schedule(5, [] {});
+    e.schedule(25, [] {});
+    e.run();
+    // Boundaries 10 and 20 lie before the event at 25; boundary 30
+    // never fires because no event reaches it.
+    ASSERT_EQ(fires.size(), 2u);
+    EXPECT_EQ(fires[0], 10u);
+    EXPECT_EQ(fires[1], 20u);
+    EXPECT_EQ(e.now(), 25u);
+}
+
+TEST(Engine, PeriodicHookNeverExtendsTheRun)
+{
+    Engine e;
+    int fires = 0;
+    e.addPeriodicHook(10, [&](Tick) { ++fires; });
+    e.schedule(3, [] {});
+    EXPECT_EQ(e.run(), 3u);
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(Engine, PeriodicHookBoundaryCoincidingWithEventFiresFirst)
+{
+    Engine e;
+    std::vector<int> order;
+    e.addPeriodicHook(10, [&](Tick) { order.push_back(0); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0); // hook sees the boundary state
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(Engine, RemovedPeriodicHookStopsFiring)
+{
+    Engine e;
+    int fires = 0;
+    const auto id = e.addPeriodicHook(10, [&](Tick) { ++fires; });
+    e.schedule(15, [&] { e.removePeriodicHook(id); });
+    e.schedule(35, [] {});
+    e.run();
+    EXPECT_EQ(fires, 1); // boundary 10 only; 20/30 come after removal
+}
+
+TEST(Engine, TwoHooksFireInGlobalTimeOrder)
+{
+    Engine e;
+    std::vector<std::pair<int, Tick>> fires;
+    e.addPeriodicHook(10, [&](Tick t) { fires.push_back({0, t}); });
+    e.addPeriodicHook(15, [&](Tick t) { fires.push_back({1, t}); });
+    e.schedule(31, [] {});
+    e.run();
+    // Expect 10(a), 15(b), 20(a), 30(a+b in some deterministic order).
+    ASSERT_EQ(fires.size(), 5u);
+    for (std::size_t i = 1; i < fires.size(); ++i)
+        EXPECT_LE(fires[i - 1].second, fires[i].second);
+    EXPECT_EQ(fires[0], (std::pair<int, Tick>{0, 10}));
+    EXPECT_EQ(fires[1], (std::pair<int, Tick>{1, 15}));
+    EXPECT_EQ(fires[2], (std::pair<int, Tick>{0, 20}));
 }

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/engine.hh"
 #include "src/sim/log.hh"
 
+using griffin::sim::Engine;
 using griffin::sim::Log;
 using griffin::sim::LogLevel;
 
@@ -87,4 +89,38 @@ TEST(Log, EnabledMatchesLevel)
     EXPECT_TRUE(Log::enabled(LogLevel::Error));
     EXPECT_TRUE(Log::enabled(LogLevel::Info));
     EXPECT_FALSE(Log::enabled(LogLevel::Trace));
+}
+
+TEST(Log, NoClockMeansNoTickPrefix)
+{
+    LogCapture cap(LogLevel::Info);
+    ASSERT_EQ(Log::clock(), nullptr);
+    GLOG(Info, "bare");
+    ASSERT_EQ(cap.lines.size(), 1u);
+    EXPECT_EQ(cap.lines[0].second, "bare");
+}
+
+TEST(Log, ClockPrefixesMessagesWithTheEngineTick)
+{
+    LogCapture cap(LogLevel::Info);
+    Engine e;
+    Log::setClock(&e);
+    e.schedule(25, [] { GLOG(Info, "fired"); });
+    e.run();
+    Log::setClock(nullptr);
+    ASSERT_EQ(cap.lines.size(), 1u);
+    EXPECT_EQ(cap.lines[0].second, "[25] fired");
+}
+
+TEST(Log, ClearingTheClockDropsThePrefix)
+{
+    LogCapture cap(LogLevel::Info);
+    Engine e;
+    Log::setClock(&e);
+    GLOG(Info, "with");
+    Log::setClock(nullptr);
+    GLOG(Info, "without");
+    ASSERT_EQ(cap.lines.size(), 2u);
+    EXPECT_EQ(cap.lines[0].second, "[0] with");
+    EXPECT_EQ(cap.lines[1].second, "without");
 }

@@ -125,3 +125,60 @@ TEST(Histogram, PercentileApproximation)
     EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
     EXPECT_NEAR(h.percentile(90), 90.0, 2.0);
 }
+
+TEST(Histogram, PercentileEdgesReturnMinAndMax)
+{
+    Histogram h(10.0, 10);
+    h.sample(5.0);
+    h.sample(95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-3), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(150), 95.0);
+}
+
+TEST(Histogram, SingleSampleReportsThatSampleForEveryP)
+{
+    Histogram h(10.0, 10);
+    h.sample(37.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1), 37.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 37.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 37.0);
+}
+
+TEST(Histogram, AllSamplesInOverflowReportMax)
+{
+    Histogram h(1.0, 4);
+    h.sample(10.0);
+    h.sample(20.0);
+    // Both land in the overflow bucket, whose upper edge is
+    // unbounded; the defined answer is max().
+    EXPECT_DOUBLE_EQ(h.percentile(50), 20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 20.0);
+}
+
+TEST(Histogram, PercentileStaysInsideObservedRange)
+{
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(42.0); // all in bucket 4 [40, 50)
+    // The bucket's upper edge (50) exceeds the observed max; the
+    // clamp keeps the report honest.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+    const double p99 = h.percentile(99);
+    EXPECT_GE(p99, h.min());
+    EXPECT_LE(p99, h.max());
+}
+
+TEST(Histogram, PercentileIsMonotoneInP)
+{
+    Histogram h(5.0, 50);
+    for (int i = 0; i < 200; ++i)
+        h.sample(double(i % 97));
+    double prev = h.percentile(0);
+    for (int p = 5; p <= 100; p += 5) {
+        const double cur = h.percentile(p);
+        EXPECT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+}

@@ -1,13 +1,19 @@
 /**
  * @file
  * Unit tests for the report helpers: geomean, table rendering, CSV,
- * ASCII bars.
+ * ASCII bars, and the JSON run report.
  */
 
 #include <gtest/gtest.h>
 
+#include "src/obs/json.hh"
+#include "src/obs/sampler.hh"
+#include "src/sim/engine.hh"
+#include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
+#include "src/sys/system_config.hh"
 
+using namespace griffin;
 using namespace griffin::sys;
 
 TEST(Geomean, KnownValues)
@@ -72,3 +78,126 @@ TEST(AsciiBar, ScalesAndClamps)
     EXPECT_EQ(asciiBar(5.0, 1.0, 10), "|##########|"); // clamped
     EXPECT_EQ(asciiBar(1.0, 0.0, 4), "|####|");        // max guard
 }
+
+namespace {
+
+/** A hand-filled RunResult with recognizable values. */
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.cycles = 123456;
+    r.pagesPerDevice = {10, 20, 30, 0, 0};
+    r.cpuShootdowns = 7;
+    r.gpuShootdowns = 3;
+    r.localAccesses = 900;
+    r.remoteAccesses = 100;
+    r.pagesMigratedFromCpu = 50;
+    r.pagesMigratedInterGpu = 5;
+    r.stats.set("driver.faults", 50.0);
+    r.stats.set("iommu.walks", 64.0);
+    for (int i = 0; i < 100; ++i)
+        r.latency.faultLatency.sample(1000.0 + 10.0 * double(i));
+    return r;
+}
+
+} // namespace
+
+TEST(RunReportJson, RoundTripsResultFields)
+{
+    const RunResult r = sampleResult();
+    const auto report =
+        runReportJson("test/run", SystemConfig::baseline(), r);
+
+    // The dump must parse back (well-formed JSON, both compact and
+    // pretty-printed).
+    const auto parsed = obs::json::Value::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    EXPECT_EQ(parsed->find("label")->asString(), "test/run");
+
+    const auto *res = parsed->find("result");
+    ASSERT_NE(res, nullptr);
+    EXPECT_DOUBLE_EQ(res->find("cycles")->asNumber(), 123456.0);
+    EXPECT_DOUBLE_EQ(res->find("cpuShootdowns")->asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(res->find("localFraction")->asNumber(), 0.9);
+    ASSERT_EQ(res->find("pagesPerDevice")->size(), 5u);
+    EXPECT_DOUBLE_EQ(res->find("pagesPerDevice")->at(2).asNumber(),
+                     30.0);
+
+    const auto *counters = parsed->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_DOUBLE_EQ(counters->find("driver.faults")->asNumber(), 50.0);
+    EXPECT_DOUBLE_EQ(counters->find("iommu.walks")->asNumber(), 64.0);
+}
+
+TEST(RunReportJson, HistogramPercentilesMatchTheSource)
+{
+    const RunResult r = sampleResult();
+    const auto report =
+        runReportJson("x", SystemConfig::griffinDefault(), r);
+    const auto parsed = obs::json::Value::parse(report.dump());
+    ASSERT_TRUE(parsed.has_value());
+
+    const auto *h =
+        parsed->find("histograms")->find("faultLatency");
+    ASSERT_NE(h, nullptr);
+    const auto &src = r.latency.faultLatency;
+    EXPECT_DOUBLE_EQ(h->find("count")->asNumber(), double(src.count()));
+    EXPECT_DOUBLE_EQ(h->find("mean")->asNumber(), src.mean());
+    EXPECT_DOUBLE_EQ(h->find("p50")->asNumber(), src.percentile(50));
+    EXPECT_DOUBLE_EQ(h->find("p95")->asNumber(), src.percentile(95));
+    EXPECT_DOUBLE_EQ(h->find("p99")->asNumber(), src.percentile(99));
+    // Empty histograms serialize with zero counts and no buckets.
+    const auto *empty =
+        parsed->find("histograms")->find("remoteAccessLatency");
+    EXPECT_DOUBLE_EQ(empty->find("count")->asNumber(), 0.0);
+    EXPECT_EQ(empty->find("buckets")->size(), 0u);
+}
+
+TEST(RunReportJson, ConfigIdentifiesThePolicy)
+{
+    const RunResult r = sampleResult();
+    const auto base =
+        runReportJson("b", SystemConfig::baseline(), r);
+    const auto grif =
+        runReportJson("g", SystemConfig::griffinDefault(), r);
+    EXPECT_EQ(base.find("config")->find("policy")->asString(),
+              "first-touch");
+    EXPECT_EQ(grif.find("config")->find("policy")->asString(),
+              "griffin");
+    // Griffin config details only appear for the griffin policy.
+    EXPECT_EQ(base.find("config")->find("griffin"), nullptr);
+    EXPECT_NE(grif.find("config")->find("griffin"), nullptr);
+}
+
+TEST(RunReportJson, SamplerRowsAreEmbedded)
+{
+    sim::Engine e;
+    obs::Sampler s;
+    s.add("probe", [] { return 3.5; });
+    s.start(e, 100);
+    e.schedule(250, [] {});
+    e.run();
+    s.stop();
+
+    const RunResult r = sampleResult();
+    const auto report =
+        runReportJson("s", SystemConfig::baseline(), r, &s);
+    const auto parsed = obs::json::Value::parse(report.dump());
+    ASSERT_TRUE(parsed.has_value());
+    const auto *samples = parsed->find("samples");
+    ASSERT_NE(samples, nullptr);
+    EXPECT_DOUBLE_EQ(samples->find("period")->asNumber(), 100.0);
+    ASSERT_EQ(samples->find("columns")->size(), 2u); // tick + probe
+    ASSERT_EQ(samples->find("rows")->size(), 3u);    // 0, 100, 200
+    EXPECT_DOUBLE_EQ(samples->find("rows")->at(1).at(0).asNumber(),
+                     100.0);
+    EXPECT_DOUBLE_EQ(samples->find("rows")->at(1).at(1).asNumber(),
+                     3.5);
+    // Without a sampler there is no "samples" member at all.
+    const auto bare =
+        runReportJson("s", SystemConfig::baseline(), r);
+    EXPECT_EQ(bare.find("samples"), nullptr);
+}
+
