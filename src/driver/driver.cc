@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/obs/metrics.hh"
+#include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
@@ -23,7 +24,7 @@ Driver::Driver(sim::Engine &engine, mem::PageTable &pt, xlat::Iommu &iommu,
 }
 
 void
-Driver::onPageFault(DeviceId requester, PageId page)
+Driver::onPageFault(DeviceId requester, PageId page, FaultId fid)
 {
     ++faultsReceived;
     if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
@@ -32,7 +33,7 @@ Driver::onPageFault(DeviceId requester, PageId page)
                         .add("gpu", requester)
                         .add("page", page));
     }
-    _queue.push_back(Fault{requester, page, _engine.now()});
+    _queue.push_back(Fault{requester, page, _engine.now(), fid});
     maybeStartBatch();
 }
 
@@ -103,6 +104,17 @@ Driver::startBatch()
                     obs::TraceArgs().add("pages", batch.size()));
     }
 
+    // The batch closing ends every member's batch-wait stage.
+    for (const Fault &fault : batch) {
+        obs::FaultSpans::markActive(fault.fid, obs::Stage::BatchWait, now);
+        if (fault.fid != invalidFaultId) {
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+                tr->flow(obs::CatFault, kTrack, "fault", now, fault.fid,
+                         obs::TraceSession::FlowPhase::Step);
+            }
+        }
+    }
+
     // One driver service pass + one CPU flush covers the whole batch.
     // This is the serial component: the driver cannot take the next
     // batch until the shootdown/flush is done. The page transfers
@@ -111,6 +123,10 @@ Driver::startBatch()
     _engine.schedule(_config.faultServiceLatency + _config.cpuFlushPenalty,
                      [this, batch = std::move(batch)] {
         for (const Fault &fault : batch) {
+            // The serial service pass (interrupt + runlist + CPU
+            // shootdown/flush) ends here for every batch member.
+            obs::FaultSpans::markActive(fault.fid, obs::Stage::Shootdown,
+                                        _engine.now());
             _cpuPmc.transferPage(
                 fault.page, fault.requester,
                 [this, fault] {
@@ -123,7 +139,8 @@ Driver::startBatch()
                             double(_engine.now() - fault.raisedAt));
                     }
                     _iommu.onMigrationDone(fault.page);
-                });
+                },
+                fault.fid);
         }
         _processing = false;
         maybeStartBatch();

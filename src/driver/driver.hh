@@ -69,7 +69,8 @@ class Driver : public xlat::FaultHandler
     const DriverConfig &config() const { return _config; }
 
     /** xlat::FaultHandler */
-    void onPageFault(DeviceId requester, PageId page) override;
+    void onPageFault(DeviceId requester, PageId page,
+                     FaultId fid = invalidFaultId) override;
 
     /** True while a batch is being serviced (for tests). */
     bool busy() const { return _processing; }
@@ -91,6 +92,7 @@ class Driver : public xlat::FaultHandler
         DeviceId requester;
         PageId page;
         Tick raisedAt; ///< for the fault-latency histogram
+        FaultId fid;   ///< span identity (obs/span.hh)
     };
 
     sim::Engine &_engine;

@@ -144,10 +144,12 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
                                 std::move(done));
                 return;
             }
-            // IOMMU over the fabric.
+            // IOMMU over the fabric. The miss time here is the span
+            // origin if this access ends up faulting.
             ++xlatRequestsSent;
+            const Tick miss_at = _engine.now();
             _network.send(_id, cpuDeviceId, ic::MessageSizes::xlatRequest,
-                          [this, cu_id, vaddr, page, is_write,
+                          [this, cu_id, vaddr, page, is_write, miss_at,
                            done = std::move(done)]() mutable {
                 _iommu.request(_id, page, is_write,
                                [this, cu_id, vaddr, page, is_write,
@@ -161,7 +163,8 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
                     }
                     haveTranslation(cu_id, vaddr, is_write,
                                     reply.location, std::move(done));
-                });
+                },
+                miss_at);
             });
         });
     });

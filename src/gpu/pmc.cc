@@ -5,25 +5,71 @@
 #include <utility>
 
 #include "src/obs/metrics.hh"
+#include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 
 namespace griffin::gpu {
 
 Pmc::Pmc(sim::Engine &engine, ic::Network &network, DeviceId self,
-         std::vector<mem::Dram *> drams, std::uint64_t page_bytes)
+         std::vector<mem::Dram *> drams, std::uint64_t page_bytes,
+         unsigned max_concurrent)
     : _engine(engine), _network(network), _self(self),
-      _drams(std::move(drams)), _pageBytes(page_bytes)
+      _drams(std::move(drams)), _pageBytes(page_bytes),
+      _maxConcurrent(max_concurrent)
 {
     assert(page_bytes > 0);
 }
 
 void
-Pmc::transferPage(PageId page, DeviceId dst, sim::EventFn done)
+Pmc::transferPage(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
 {
     assert(dst < _drams.size() && dst != _self);
 
+    if (_maxConcurrent != 0 && _inflight >= _maxConcurrent) {
+        ++transfersDeferred;
+        _pending.push_back(Pending{page, dst, std::move(done), fid});
+        return;
+    }
+    startTransfer(page, dst, std::move(done), fid);
+}
+
+void
+Pmc::startTransfer(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
+{
+    ++_inflight;
     ++pagesTransferred;
     bytesTransferred += _pageBytes;
+
+    // The DMA stream starts now: end of the fault's transfer_queue
+    // stage (zero-length when the PMC is unbounded or uncontended).
+    obs::FaultSpans::markActive(fid, obs::Stage::TransferQueue,
+                                _engine.now());
+    if (fid != invalidFaultId) {
+        if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+            tr->flow(obs::CatFault, "pmc" + std::to_string(_self), "fault",
+                     _engine.now(), fid,
+                     obs::TraceSession::FlowPhase::Step);
+        }
+    }
+
+    // Slot bookkeeping: release the DMA slot (and start the next
+    // queued transfer) before the driver-side completion runs, so a
+    // completion that immediately requests another transfer sees a
+    // free slot.
+    done = [this, fid, done = std::move(done)] {
+        obs::FaultSpans::markActive(fid, obs::Stage::Transfer,
+                                    _engine.now());
+        assert(_inflight > 0);
+        --_inflight;
+        if (!_pending.empty() &&
+            (_maxConcurrent == 0 || _inflight < _maxConcurrent)) {
+            Pending next = std::move(_pending.front());
+            _pending.pop_front();
+            startTransfer(next.page, next.dst, std::move(next.done),
+                          next.fid);
+        }
+        done();
+    };
 
     // Observability wrapper: time the whole read->stream->write span.
     // Only pay for the wrapper when someone is listening.

@@ -9,6 +9,7 @@
 #define GRIFFIN_GPU_PMC_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "src/interconnect/switch.hh"
@@ -32,27 +33,60 @@ class Pmc
      * @param self   the device that owns this PMC (the source side).
      * @param drams  per-device DRAM models, indexed by DeviceId.
      * @param page_bytes page size being migrated.
+     * @param max_concurrent DMA streams allowed in flight at once;
+     *        0 = unlimited (the default, and timing-identical to a
+     *        PMC without a queue). When bounded, excess transfers
+     *        wait in an internal FIFO — the wait is the span model's
+     *        transfer_queue stage.
      */
     Pmc(sim::Engine &engine, ic::Network &network, DeviceId self,
-        std::vector<mem::Dram *> drams, std::uint64_t page_bytes);
+        std::vector<mem::Dram *> drams, std::uint64_t page_bytes,
+        unsigned max_concurrent = 0);
 
     /**
      * Migrate @p page (by virtual page number; the model is tag-only)
      * from this device to @p dst.
+     *
+     * @param fid span identity when this transfer services a page
+     *            fault (stamps the transfer_queue/transfer stages).
      */
-    void transferPage(PageId page, DeviceId dst, sim::EventFn done);
+    void transferPage(PageId page, DeviceId dst, sim::EventFn done,
+                      FaultId fid = invalidFaultId);
+
+    /** In-flight + queued transfers (sampler probe). */
+    unsigned
+    queueDepth() const
+    {
+        return _inflight + unsigned(_pending.size());
+    }
 
     /** @name Statistics @{ */
     std::uint64_t pagesTransferred = 0;
     std::uint64_t bytesTransferred = 0;
+    std::uint64_t transfersDeferred = 0; ///< waited on a DMA slot
     /** @} */
 
   private:
+    /** A transfer waiting for a DMA slot. */
+    struct Pending
+    {
+        PageId page;
+        DeviceId dst;
+        sim::EventFn done;
+        FaultId fid;
+    };
+
     sim::Engine &_engine;
     ic::Network &_network;
     DeviceId _self;
     std::vector<mem::Dram *> _drams;
     std::uint64_t _pageBytes;
+    unsigned _maxConcurrent;
+    unsigned _inflight = 0;
+    std::deque<Pending> _pending;
+
+    void startTransfer(PageId page, DeviceId dst, sim::EventFn done,
+                       FaultId fid);
 };
 
 } // namespace griffin::gpu

@@ -146,7 +146,7 @@ TraceSession::instant(Category cat, const std::string &track,
                       const std::string &name, Tick ts,
                       const TraceArgs &args)
 {
-    _events.push_back(Event{'i', _pid, trackId(track), ts, 0, 0.0,
+    _events.push_back(Event{'i', _pid, trackId(track), ts, 0, 0.0, 0,
                             categoryName(cat), name, args.json()});
 }
 
@@ -157,15 +157,27 @@ TraceSession::complete(Category cat, const std::string &track,
 {
     assert(end >= begin);
     _events.push_back(Event{'X', _pid, trackId(track), begin, end - begin,
-                            0.0, categoryName(cat), name, args.json()});
+                            0.0, 0, categoryName(cat), name, args.json()});
 }
 
 void
 TraceSession::counter(Category cat, const std::string &track,
                       const std::string &series, Tick ts, double value)
 {
-    _events.push_back(Event{'C', _pid, trackId(track), ts, 0, value,
+    _events.push_back(Event{'C', _pid, trackId(track), ts, 0, value, 0,
                             categoryName(cat), series, std::string()});
+}
+
+void
+TraceSession::flow(Category cat, const std::string &track,
+                   const std::string &name, Tick ts, std::uint64_t id,
+                   FlowPhase phase)
+{
+    const char ph = phase == FlowPhase::Begin ? 's'
+                  : phase == FlowPhase::Step  ? 't'
+                                              : 'f';
+    _events.push_back(Event{ph, _pid, trackId(track), ts, 0, 0.0, id,
+                            categoryName(cat), name, std::string()});
 }
 
 void
@@ -227,6 +239,15 @@ TraceSession::writeJson(std::ostream &os) const
             os << ",\"args\":{\"value\":" << buf << "}}";
             continue;
           }
+          case 's':
+            os << ",\"id\":" << ev->flowId;
+            break;
+          case 't':
+          case 'f':
+            // Bind to the enclosing slice so arrows land on the spans
+            // they causally connect.
+            os << ",\"id\":" << ev->flowId << ",\"bp\":\"e\"";
+            break;
           default:
             break;
         }

@@ -143,6 +143,19 @@ class TraceSession
     void counter(Category cat, const std::string &track,
                  const std::string &series, Tick ts, double value);
 
+    /** Flow-arrow phase: where @p id's arrow starts, passes, ends. */
+    enum class FlowPhase { Begin, Step, End };
+
+    /**
+     * One point of a flow arrow (ph 's'/'t'/'f'). All points sharing
+     * @p id form one arrow chain across tracks; each point binds to
+     * the slice enclosing it on @p track, which is how the viewer
+     * draws causal links between the spans of one fault.
+     */
+    void flow(Category cat, const std::string &track,
+              const std::string &name, Tick ts, std::uint64_t id,
+              FlowPhase phase);
+
     /** @} */
 
     std::size_t eventCount() const { return _events.size(); }
@@ -159,13 +172,15 @@ class TraceSession
   private:
     struct Event
     {
-        char ph; ///< 'i' instant, 'X' complete, 'C' counter
+        char ph; ///< 'i' instant, 'X' complete, 'C' counter,
+                 ///< 's'/'t'/'f' flow begin/step/end
         std::uint32_t pid;
         std::uint32_t tid;
         Tick ts;
-        Tick dur;        ///< complete events only
-        double value;    ///< counter events only
-        const char *cat; ///< static category name
+        Tick dur;             ///< complete events only
+        double value;         ///< counter events only
+        std::uint64_t flowId; ///< flow events only
+        const char *cat;      ///< static category name
         std::string name;
         std::string args;
     };

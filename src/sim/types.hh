@@ -35,6 +35,17 @@ inline constexpr DeviceId invalidDeviceId = ~DeviceId(0);
 /** Sentinel for "never" / "not scheduled". */
 inline constexpr Tick maxTick = ~Tick(0);
 
+/**
+ * Identity of one page fault, allocated when the IOMMU raises the
+ * fault and threaded through the whole service path (driver batch,
+ * PMC transfer, translation replay) so the observability layer can
+ * assemble a causal span tree per fault (obs/span.hh).
+ */
+using FaultId = std::uint64_t;
+
+/** "No fault being tracked": instrumentation points become no-ops. */
+inline constexpr FaultId invalidFaultId = 0;
+
 } // namespace griffin
 
 #endif // GRIFFIN_SIM_TYPES_HH

@@ -52,7 +52,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
         std::uint64_t(1) << config.gpu.pageShift;
     for (unsigned dev = 0; dev < config.numDevices(); ++dev) {
         _pmcs.push_back(std::make_unique<gpu::Pmc>(
-            _engine, *_network, DeviceId(dev), drams, page_bytes));
+            _engine, *_network, DeviceId(dev), drams, page_bytes,
+            config.pmcMaxConcurrent));
     }
 
     // Driver: fault batching per the active policy (CPMS CPU->GPU
@@ -190,9 +191,19 @@ MultiGpuSystem::registerProbes(obs::Sampler &sampler)
                 [this] { return double(_driver->pendingFaults()); });
     sampler.add("iommu.activeWalks",
                 [this] { return double(_iommu->activeWalks()); });
+    sampler.add("iommu.walkerOccupancy", [this] {
+        return double(_iommu->busyWalkers()) /
+               double(_iommu->config().numWalkers);
+    });
     for (unsigned g = 0; g < numGpus(); ++g) {
         sampler.add("gpu" + std::to_string(g + 1) + ".busyCus",
                     [this, g] { return double(_gpus[g]->busyCus()); });
+    }
+    // Transfer-queue depth per PMC; device 0 is the CPU-side PMC the
+    // driver funnels every CPU->GPU migration through.
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev) {
+        sampler.add("pmc" + std::to_string(dev) + ".queueDepth",
+                    [this, dev] { return double(_pmcs[dev]->queueDepth()); });
     }
 }
 
@@ -213,6 +224,14 @@ MultiGpuSystem::run(wl::Workload &workload)
         explicit MetricsGuard(obs::Metrics &mm) : m(mm) { m.attach(); }
         ~MetricsGuard() { m.detach(); }
     } metrics_guard(_metrics);
+
+    // Per-fault causal spans, same lifetime discipline.
+    struct SpansGuard
+    {
+        obs::FaultSpans &s;
+        explicit SpansGuard(obs::FaultSpans &ss) : s(ss) { s.attach(); }
+        ~SpansGuard() { s.detach(); }
+    } spans_guard(_spans);
 
     _policy->onSystemStart();
 
@@ -334,6 +353,12 @@ MultiGpuSystem::collectResults()
     }
 
     result.latency = _metrics.latency;
+    result.faultBreakdown = _spans.criticalPath();
+    result.faultSpansOpen = _spans.openFaults();
+    st.set("spans.completed", double(_spans.criticalPath().faults()));
+    st.set("spans.open", double(result.faultSpansOpen));
+    st.set("pmc0.transfersDeferred",
+           double(_pmcs[cpuDeviceId]->transfersDeferred));
 
     return result;
 }

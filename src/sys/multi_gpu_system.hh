@@ -28,6 +28,7 @@
 #include "src/mem/page_table.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/sampler.hh"
+#include "src/obs/span.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/stats.hh"
 #include "src/sys/system_config.hh"
@@ -55,6 +56,10 @@ struct RunResult
     sim::StatSet stats;
     /** Latency distributions (fault, migration, remote access). */
     obs::LatencyHistograms latency;
+    /** Critical-path decomposition of every serviced fault. */
+    obs::CriticalPath faultBreakdown;
+    /** Faults whose span never closed (should be 0 after a run). */
+    std::uint64_t faultSpansOpen = 0;
 
     double
     localFraction() const
@@ -111,6 +116,9 @@ class MultiGpuSystem : public gpu::RemoteRouter
     /** Non-null only when the config selected Griffin. */
     core::GriffinPolicy *griffinPolicy() { return _griffinPolicy; }
     const SystemConfig &config() const { return _config; }
+    gpu::Pmc &pmc(unsigned dev) { return *_pmcs[dev]; }
+    /** The run's fault-span sink (attached for the run's duration). */
+    const obs::FaultSpans &faultSpans() const { return _spans; }
     /** @} */
 
     /** Install a per-access probe on every GPU (benches). */
@@ -142,6 +150,8 @@ class MultiGpuSystem : public gpu::RemoteRouter
 
     /** Run-level latency histograms, attached for the run's duration. */
     obs::Metrics _metrics;
+    /** Per-fault causal spans, attached alongside the metrics. */
+    obs::FaultSpans _spans;
     /** The log clock that was registered before this system's engine. */
     const sim::Engine *_prevLogClock = nullptr;
 

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "src/obs/sampler.hh"
+#include "src/obs/span.hh"
+#include "src/sim/log.hh"
 #include "src/sim/stats.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/system_config.hh"
@@ -21,7 +23,12 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double log_sum = 0.0;
     for (const double v : values) {
-        assert(v > 0.0 && "geomean requires positive values");
+        if (!(v > 0.0)) {
+            GLOG(Warn, "geomean: non-positive value " << v
+                           << ", mean undefined; returning 0");
+            assert(false && "geomean requires positive values");
+            return 0.0;
+        }
         log_sum += std::log(v);
     }
     return std::exp(log_sum / double(values.size()));
@@ -35,6 +42,12 @@ Table::Table(std::vector<std::string> header) : _header(std::move(header))
 void
 Table::addRow(std::vector<std::string> row)
 {
+    if (row.size() > _header.size()) {
+        GLOG(Warn, "table: row of " << row.size() << " cells under a "
+                       << _header.size()
+                       << "-column header; extra cells dropped");
+        assert(false && "table row wider than its header");
+    }
     row.resize(_header.size());
     _rows.push_back(std::move(row));
 }
@@ -189,6 +202,24 @@ runReportJson(const std::string &label, const SystemConfig &config,
     hists["remoteAccessLatency"] =
         histogramJson(result.latency.remoteAccessLatency);
     v["histograms"] = std::move(hists);
+
+    // Critical-path decomposition: one entry per span-model stage,
+    // whose sums partition the end-to-end total exactly.
+    const obs::CriticalPath &cp = result.faultBreakdown;
+    obs::json::Value fb = obs::json::Value::object();
+    fb["faults"] = cp.faults();
+    fb["orphans"] = result.faultSpansOpen;
+    fb["total"] = histogramJson(cp.total());
+    obs::json::Value stages = obs::json::Value::object();
+    for (unsigned s = 0; s < obs::numStages; ++s) {
+        const auto stage = obs::Stage(s);
+        obs::json::Value sv = histogramJson(cp.stageHistogram(stage));
+        sv["sum"] = cp.stageSum(stage);
+        sv["share"] = cp.share(stage);
+        stages[obs::stageName(stage)] = std::move(sv);
+    }
+    fb["stages"] = std::move(stages);
+    v["fault_breakdown"] = std::move(fb);
 
     if (sampler) {
         obs::json::Value s = obs::json::Value::object();

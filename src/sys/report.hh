@@ -29,7 +29,11 @@ namespace griffin::sys {
 struct RunResult;
 struct SystemConfig;
 
-/** Geometric mean of @p values (must all be > 0; empty -> 0). */
+/**
+ * Geometric mean of @p values (empty -> 0). Values must all be > 0: a
+ * non-positive value makes the mean undefined, so it asserts (and in
+ * assert-free builds warns and returns 0 instead of a garbage mean).
+ */
 double geomean(const std::vector<double> &values);
 
 /**
@@ -40,7 +44,12 @@ class Table
   public:
     explicit Table(std::vector<std::string> header);
 
-    /** Append one row (cells beyond the header are dropped). */
+    /**
+     * Append one row, padded to the header width. A row *wider* than
+     * the header is a caller bug (the extra cells would silently
+     * vanish from the output): it asserts, and in assert-free builds
+     * warns before truncating.
+     */
     void addRow(std::vector<std::string> row);
 
     /** Convenience: format a double with @p precision decimals. */

@@ -49,6 +49,14 @@ struct SystemConfig
     /** Fault-path timing shared by both policies. */
     Tick cpuFlushPenalty = 100;
 
+    /**
+     * DMA streams each PMC may have in flight at once; 0 = unlimited
+     * (timing-identical to a queueless PMC). Bounding it surfaces
+     * transfer-queue pressure in the span breakdown and the
+     * pmcN.queueDepth probe.
+     */
+    unsigned pmcMaxConcurrent = 0;
+
     /** Workgroup dispatch serialization (GPU 1 goes first). */
     Tick dispatchLatency = 4;
 

@@ -23,8 +23,14 @@ class FaultHandler
      * GPU @p requester faulted on CPU-resident @p page and the policy
      * chose to migrate. The handler must eventually move the page and
      * call Iommu::onMigrationDone(page).
+     *
+     * @param fid span identity of the fault (obs/span.hh); handlers
+     *            thread it through batching and the page transfer so
+     *            stage boundaries attribute to the right fault. May be
+     *            invalidFaultId when no span sink is attached.
      */
-    virtual void onPageFault(DeviceId requester, PageId page) = 0;
+    virtual void onPageFault(DeviceId requester, PageId page,
+                             FaultId fid = invalidFaultId) = 0;
 };
 
 } // namespace griffin::xlat

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <utility>
 
+#include <string>
+
+#include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
@@ -22,13 +25,16 @@ Iommu::Iommu(sim::Engine &engine, ic::Network &network, mem::PageTable &pt,
 }
 
 void
-Iommu::request(DeviceId requester, PageId page, bool is_write, XlatDone done)
+Iommu::request(DeviceId requester, PageId page, bool is_write, XlatDone done,
+               Tick origin)
 {
     assert(_policy && _faultHandler &&
            "policy and fault handler must be installed first");
     ++requests;
 
-    Request req{requester, page, is_write, std::move(done)};
+    if (origin == maxTick)
+        origin = _engine.now();
+    Request req{requester, page, is_write, std::move(done), origin};
 
     // IOTLB probe first; a hit skips the walk entirely.
     _engine.schedule(_iotlb.latency(), [this, req = std::move(req)]() mutable {
@@ -63,6 +69,13 @@ Iommu::startWalks()
         _walkQueue.pop_front();
         ++_busyWalkers;
         ++walks;
+        // Waiters present now left the walk queue; late coalescers
+        // keep walkStart = 0, which the span sink clamps to a
+        // zero-length queue stage.
+        auto it = _walkWaiters.find(page);
+        assert(it != _walkWaiters.end());
+        for (Request &req : it->second)
+            req.walkStart = _engine.now();
         _engine.schedule(_config.walkLatency,
                          [this, page] { finishWalk(page); });
     }
@@ -79,8 +92,10 @@ Iommu::finishWalk(PageId page)
     assert(it != _walkWaiters.end());
     std::vector<Request> waiters = std::move(it->second);
     _walkWaiters.erase(it);
-    for (auto &req : waiters)
+    for (auto &req : waiters) {
+        req.walkEnd = _engine.now();
         resolve(std::move(req));
+    }
 }
 
 void
@@ -109,6 +124,16 @@ Iommu::resolve(Request req)
             pi.migrating = true;
             const DeviceId requester = req.requester;
             const PageId page = req.page;
+            // Open the span: the pre-fault stages (queue, walk,
+            // policy) are known in full right here.
+            FaultId fid = invalidFaultId;
+            if (auto *fs = obs::FaultSpans::active()) {
+                fid = fs->beginFault(requester, page, req.origin);
+                fs->mark(fid, obs::Stage::WalkQueue, req.walkStart);
+                fs->mark(fid, obs::Stage::Walk, req.walkEnd);
+                fs->mark(fid, obs::Stage::Policy, _engine.now());
+            }
+            req.fid = fid;
             _parked[page].push_back(std::move(req));
             GLOG(Trace, "iommu: fault page " << page << " -> gpu "
                                              << requester);
@@ -119,8 +144,13 @@ Iommu::resolve(Request req)
                             obs::TraceArgs()
                                 .add("gpu", requester)
                                 .add("page", page));
+                if (fid != invalidFaultId) {
+                    tr->flow(obs::CatFault, kTrack, "fault",
+                             _engine.now(), fid,
+                             obs::TraceSession::FlowPhase::Begin);
+                }
             }
-            _faultHandler->onPageFault(requester, page);
+            _faultHandler->onPageFault(requester, page, fid);
         } else {
             ++dcaRedirects;
             if (auto *tr = obs::TraceSession::activeFor(obs::CatDca)) {
@@ -147,8 +177,30 @@ void
 Iommu::reply(const Request &req, XlatReply rep)
 {
     auto done = req.done;
-    _network.send(cpuDeviceId, req.requester, ic::MessageSizes::xlatReply,
-                  [done = std::move(done), rep] { done(rep); });
+    const FaultId fid = req.fid;
+    if (fid == invalidFaultId) {
+        _network.send(cpuDeviceId, req.requester, ic::MessageSizes::xlatReply,
+                      [done = std::move(done), rep] { done(rep); });
+        return;
+    }
+    // This reply retires a fault: close the span when it lands at the
+    // requester, where the stalled wavefront actually resumes.
+    const DeviceId requester = req.requester;
+    _network.send(cpuDeviceId, requester, ic::MessageSizes::xlatReply,
+                  [this, done = std::move(done), rep, fid, requester] {
+                      const Tick now = _engine.now();
+                      obs::FaultSpans::completeActive(fid, now);
+                      if (auto *tr =
+                              obs::TraceSession::activeFor(obs::CatFault)) {
+                          const std::string track =
+                              "gpu" + std::to_string(requester);
+                          tr->instant(obs::CatFault, track, "fault_resume",
+                                      now, obs::TraceArgs().add("fault", fid));
+                          tr->flow(obs::CatFault, track, "fault", now, fid,
+                                   obs::TraceSession::FlowPhase::End);
+                      }
+                      done(rep);
+                  });
 }
 
 void

@@ -73,9 +73,13 @@ class Iommu
      * A translation request has arrived at the IOMMU (the requester
      * already paid the fabric crossing). The reply is sent back over
      * the fabric; @p done runs at the requester.
+     *
+     * @param origin the requester-side TLB-miss timestamp, used as
+     *               the span origin if this request turns into a page
+     *               fault; defaults to arrival time at the IOMMU.
      */
     void request(DeviceId requester, PageId page, bool is_write,
-                 XlatDone done);
+                 XlatDone done, Tick origin = maxTick);
 
     /**
      * Mark @p page as under migration: new and parked requests wait
@@ -110,6 +114,11 @@ class Iommu
         return _busyWalkers + unsigned(_walkQueue.size());
     }
 
+    /** Walkers currently in a walk (occupancy probe). */
+    unsigned busyWalkers() const { return _busyWalkers; }
+
+    const IommuConfig &config() const { return _config; }
+
     /** @name Statistics @{ */
     std::uint64_t requests = 0;
     std::uint64_t iotlbHits = 0;
@@ -127,6 +136,13 @@ class Iommu
         PageId page;
         bool isWrite;
         XlatDone done;
+        /** Requester-side TLB-miss time (span origin on a fault). */
+        Tick origin = 0;
+        /** When a walker picked this page up / finished the walk. */
+        Tick walkStart = 0;
+        Tick walkEnd = 0;
+        /** Span identity, allocated only if a fault is raised. */
+        FaultId fid = invalidFaultId;
     };
 
     sim::Engine &_engine;

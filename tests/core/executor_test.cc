@@ -34,7 +34,7 @@ class NeverMigratePolicy : public core::MigrationPolicy
 class NullHandler : public xlat::FaultHandler
 {
   public:
-    void onPageFault(DeviceId, PageId) override {}
+    void onPageFault(DeviceId, PageId, FaultId = invalidFaultId) override {}
 };
 
 class NullRouter : public gpu::RemoteRouter

@@ -36,7 +36,7 @@ class NullRouter : public gpu::RemoteRouter
 class NullHandler : public xlat::FaultHandler
 {
   public:
-    void onPageFault(DeviceId, PageId) override {}
+    void onPageFault(DeviceId, PageId, FaultId = invalidFaultId) override {}
 };
 
 struct Rig

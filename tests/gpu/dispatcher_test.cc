@@ -43,7 +43,8 @@ class InstantDriver : public xlat::FaultHandler
     {
     }
     void
-    onPageFault(DeviceId requester, PageId page) override
+    onPageFault(DeviceId requester, PageId page,
+                FaultId = invalidFaultId) override
     {
         _pt.setLocation(page, requester);
         _iommu.onMigrationDone(page);

@@ -41,7 +41,8 @@ class InstantDriver : public xlat::FaultHandler
     }
 
     void
-    onPageFault(DeviceId requester, PageId page) override
+    onPageFault(DeviceId requester, PageId page,
+                FaultId = invalidFaultId) override
     {
         ++faults;
         _pt.setLocation(page, requester);

@@ -174,6 +174,47 @@ TEST(TraceSession, ProcessesSeparateRuns)
     EXPECT_NE(pid_a, pid_b);
 }
 
+TEST(TraceSession, FlowEventsCarryIdAndBindingPoint)
+{
+    TraceSession t;
+    t.beginProcess("run");
+    t.flow(CatFault, "iommu", "fault", 100, 42,
+           TraceSession::FlowPhase::Begin);
+    t.flow(CatFault, "driver", "fault", 200, 42,
+           TraceSession::FlowPhase::Step);
+    t.flow(CatFault, "gpu1", "fault", 300, 42,
+           TraceSession::FlowPhase::End);
+
+    const auto doc = obs::json::Value::parse(t.json());
+    ASSERT_TRUE(doc.has_value()) << t.json();
+    const auto *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    int begins = 0, steps = 0, ends = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        const std::string ph = e.find("ph")->asString();
+        if (ph != "s" && ph != "t" && ph != "f")
+            continue;
+        // Flow arrows join on the id — the FaultId.
+        ASSERT_NE(e.find("id"), nullptr);
+        EXPECT_DOUBLE_EQ(e.find("id")->asNumber(), 42.0);
+        EXPECT_EQ(e.find("name")->asString(), "fault");
+        if (ph == "s") {
+            ++begins;
+            EXPECT_EQ(e.find("bp"), nullptr);
+        } else {
+            // Steps and ends bind to the enclosing slice.
+            (ph == "t" ? ++steps : ++ends);
+            ASSERT_NE(e.find("bp"), nullptr);
+            EXPECT_EQ(e.find("bp")->asString(), "e");
+        }
+    }
+    EXPECT_EQ(begins, 1);
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(ends, 1);
+}
+
 TEST(TraceArgs, FormatsAllValueKinds)
 {
     const std::string body = TraceArgs()

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for sys/compare: threshold-spec parsing, metric aliasing
+ * and dotted-path lookup (including the literal-key fallback for
+ * counter names), and the pass/fail semantics of compareReports — the
+ * library behind griffin-compare and the CI perf-regression gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.hh"
+#include "src/sys/compare.hh"
+
+using namespace griffin;
+using obs::json::Value;
+using sys::compareReports;
+using sys::parseThreshold;
+using sys::Threshold;
+
+namespace {
+
+/** A minimal run report document with one labelled run. */
+Value
+makeReport(double fault_p95, double cycles, double walks = 100.0,
+           const std::string &label = "MT/griffin")
+{
+    Value run = Value::object();
+    run["label"] = label;
+    Value result = Value::object();
+    result["cycles"] = cycles;
+    result["localFraction"] = 0.75;
+    run["result"] = std::move(result);
+    Value counters = Value::object();
+    counters["iommu.walks"] = walks;
+    run["counters"] = std::move(counters);
+    Value fl = Value::object();
+    fl["mean"] = fault_p95 * 0.6;
+    fl["p50"] = fault_p95 * 0.5;
+    fl["p95"] = fault_p95;
+    fl["p99"] = fault_p95 * 1.2;
+    Value hists = Value::object();
+    hists["faultLatency"] = std::move(fl);
+    run["histograms"] = std::move(hists);
+
+    Value doc = Value::object();
+    Value runs = Value::array();
+    runs.push(std::move(run));
+    doc["runs"] = std::move(runs);
+    return doc;
+}
+
+} // namespace
+
+TEST(ParseThreshold, AcceptsDirectionsAndPercents)
+{
+    auto t = parseThreshold("fault_p95:+5%");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->metric, "fault_p95");
+    EXPECT_DOUBLE_EQ(t->pct, 5.0);
+    EXPECT_EQ(t->direction, +1);
+
+    t = parseThreshold("local_fraction:-2.5%");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_DOUBLE_EQ(t->pct, 2.5);
+    EXPECT_EQ(t->direction, -1);
+
+    t = parseThreshold("migrations:0%");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->direction, 0);
+    EXPECT_DOUBLE_EQ(t->pct, 0.0);
+
+    // The trailing % is optional.
+    t = parseThreshold("cycles:+3");
+    ASSERT_TRUE(t.has_value());
+    EXPECT_DOUBLE_EQ(t->pct, 3.0);
+}
+
+TEST(ParseThreshold, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(parseThreshold("").has_value());
+    EXPECT_FALSE(parseThreshold("fault_p95").has_value());
+    EXPECT_FALSE(parseThreshold(":5%").has_value());
+    EXPECT_FALSE(parseThreshold("fault_p95:").has_value());
+    EXPECT_FALSE(parseThreshold("fault_p95:abc%").has_value());
+    EXPECT_FALSE(parseThreshold("fault_p95:-%").has_value());
+}
+
+TEST(ResolveMetricPath, AliasesAndPassThrough)
+{
+    EXPECT_EQ(sys::resolveMetricPath("cycles"), "result.cycles");
+    EXPECT_EQ(sys::resolveMetricPath("fault_p95"),
+              "histograms.faultLatency.p95");
+    EXPECT_EQ(sys::resolveMetricPath("transfer_share"),
+              "fault_breakdown.stages.transfer.share");
+    EXPECT_EQ(sys::resolveMetricPath("batch_wait_p95"),
+              "fault_breakdown.stages.batch_wait.p95");
+    // Unknown names pass through verbatim.
+    EXPECT_EQ(sys::resolveMetricPath("counters.iommu.walks"),
+              "counters.iommu.walks");
+}
+
+TEST(LookupMetric, DescendsAndFallsBackToLiteralKeys)
+{
+    const Value doc = makeReport(1000.0, 5000.0, 42.0);
+    const Value &run = doc.find("runs")->at(0);
+
+    auto v = sys::lookupMetric(run, "result.cycles");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 5000.0);
+
+    // "iommu.walks" is ONE key under "counters": the dotted descent
+    // fails at "iommu" and the remaining path must match literally.
+    v = sys::lookupMetric(run, "counters.iommu.walks");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 42.0);
+
+    EXPECT_FALSE(sys::lookupMetric(run, "result.nope").has_value());
+    EXPECT_FALSE(sys::lookupMetric(run, "nope.cycles").has_value());
+}
+
+TEST(CompareReports, IdenticalReportsPass)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1000.0, 5000.0);
+    const auto res = compareReports(
+        ref, cur, {*parseThreshold("fault_p95:+5%"),
+                   *parseThreshold("cycles:+3%")});
+    EXPECT_TRUE(res.pass);
+    ASSERT_EQ(res.checks.size(), 2u);
+    for (const auto &c : res.checks) {
+        EXPECT_TRUE(c.ok);
+        EXPECT_DOUBLE_EQ(c.deltaPct, 0.0);
+    }
+    EXPECT_TRUE(res.errors.empty());
+    EXPECT_TRUE(res.drifts.empty());
+}
+
+TEST(CompareReports, InjectedFaultP95RegressionFails)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1080.0, 5000.0); // +8% > +5% gate
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("fault_p95:+5%")});
+    EXPECT_FALSE(res.pass);
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_FALSE(res.checks[0].ok);
+    EXPECT_NEAR(res.checks[0].deltaPct, 8.0, 1e-9);
+}
+
+TEST(CompareReports, ImprovementPassesDirectionalGate)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(800.0, 5000.0); // 20% faster
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("fault_p95:+5%")});
+    EXPECT_TRUE(res.pass) << "a '+' gate must not fail on improvement";
+
+    // ...but a bidirectional gate treats it as drift out of bounds.
+    const auto both =
+        compareReports(ref, cur, {*parseThreshold("fault_p95:5%")});
+    EXPECT_FALSE(both.pass);
+}
+
+TEST(CompareReports, MissingRunInCurrentFails)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1000.0, 5000.0, 100.0, "BFS/griffin");
+    const auto res = compareReports(ref, cur, {});
+    EXPECT_FALSE(res.pass);
+    EXPECT_FALSE(res.errors.empty());
+}
+
+TEST(CompareReports, MissingMetricFails)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1000.0, 5000.0);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("transfer_share:+5%")});
+    EXPECT_FALSE(res.pass) << "a gate that skips a missing metric is "
+                              "not a gate";
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_FALSE(res.checks[0].note.empty());
+}
+
+TEST(CompareReports, UnthresholdedDriftIsInformational)
+{
+    const Value ref = makeReport(1000.0, 5000.0, 100.0);
+    const Value cur = makeReport(1000.0, 5000.0, 150.0); // walks +50%
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("fault_p95:+5%")});
+    EXPECT_TRUE(res.pass) << "drift without a threshold must not fail";
+    bool saw_walks = false;
+    for (const auto &d : res.drifts)
+        if (d.path.find("iommu.walks") != std::string::npos) {
+            saw_walks = true;
+            EXPECT_NEAR(d.deltaPct, 50.0, 1e-9);
+        }
+    EXPECT_TRUE(saw_walks);
+}
+
+TEST(CompareReports, VerdictJsonShape)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1080.0, 5000.0);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("fault_p95:+5%")});
+    const Value verdict = res.verdictJson();
+
+    // Round-trip through text like CI consumers would.
+    const auto parsed = Value::parse(verdict.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_NE(parsed->find("status"), nullptr);
+    EXPECT_EQ(parsed->find("status")->asString(), "fail");
+    ASSERT_NE(parsed->find("checks"), nullptr);
+    ASSERT_GE(parsed->find("checks")->size(), 1u);
+    const Value &check = parsed->find("checks")->at(0);
+    EXPECT_EQ(check.find("metric")->asString(), "fault_p95");
+    EXPECT_EQ(check.find("run")->asString(), "MT/griffin");
+    EXPECT_FALSE(check.find("ok")->asBool());
+    EXPECT_NEAR(check.find("deltaPct")->asNumber(), 8.0, 1e-9);
+}

@@ -8,6 +8,7 @@
 
 #include "src/obs/json.hh"
 #include "src/obs/sampler.hh"
+#include "src/obs/span.hh"
 #include "src/sim/engine.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
@@ -56,6 +57,22 @@ TEST(Table, ShortRowsArePadded)
     EXPECT_NE(t.csv().find("x,,"), std::string::npos);
 }
 
+TEST(TableDeathTest, OversizedRowAsserts)
+{
+    // A row wider than its header used to be silently truncated; it
+    // is a caller bug and must be loud (asserts are on in all builds).
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"1", "2", "3"}), "wider than its header");
+}
+
+TEST(GeomeanDeathTest, NonPositiveValueAsserts)
+{
+    // geomean of a non-positive value is undefined; returning 0 used
+    // to hide sign bugs in speedup computations.
+    EXPECT_DEATH((void)geomean({2.0, -1.0}), "positive");
+    EXPECT_DEATH((void)geomean({0.0}), "positive");
+}
+
 TEST(Table, CsvFormat)
 {
     Table t({"h1", "h2"});
@@ -80,6 +97,23 @@ TEST(AsciiBar, ScalesAndClamps)
 }
 
 namespace {
+
+/** A complete 8-stage fault record ending at origin + 1500. */
+obs::FaultRecord
+makeFaultRecord(FaultId fid, Tick origin)
+{
+    obs::FaultRecord rec;
+    rec.id = fid;
+    rec.gpu = 1;
+    rec.page = PageId(fid);
+    rec.origin = origin;
+    const Tick ends[obs::numStages] = {10, 310, 315, 500,
+                                       700, 700, 1400, 1500};
+    for (unsigned s = 0; s < obs::numStages; ++s)
+        rec.marks.push_back(
+            obs::StageMark{obs::Stage(s), origin + ends[s]});
+    return rec;
+}
 
 /** A hand-filled RunResult with recognizable values. */
 RunResult
@@ -199,5 +233,43 @@ TEST(RunReportJson, SamplerRowsAreEmbedded)
     const auto bare =
         runReportJson("s", SystemConfig::baseline(), r);
     EXPECT_EQ(bare.find("samples"), nullptr);
+}
+
+TEST(RunReportJson, FaultBreakdownRoundTrips)
+{
+    RunResult r = sampleResult();
+    r.faultBreakdown.addFault(makeFaultRecord(1, 0));
+    r.faultBreakdown.addFault(makeFaultRecord(2, 10000));
+    r.faultSpansOpen = 1; // one orphan, deliberately
+
+    const auto report =
+        runReportJson("fb", SystemConfig::griffinDefault(), r);
+    const auto parsed = obs::json::Value::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    const auto *fb = parsed->find("fault_breakdown");
+    ASSERT_NE(fb, nullptr);
+    EXPECT_DOUBLE_EQ(fb->find("faults")->asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(fb->find("orphans")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(fb->find("total")->find("count")->asNumber(), 2.0);
+
+    const auto *stages = fb->find("stages");
+    ASSERT_NE(stages, nullptr);
+    double stage_sum = 0.0, share_sum = 0.0;
+    for (unsigned s = 0; s < obs::numStages; ++s) {
+        const auto *sv = stages->find(obs::stageName(obs::Stage(s)));
+        ASSERT_NE(sv, nullptr) << obs::stageName(obs::Stage(s));
+        EXPECT_DOUBLE_EQ(sv->find("count")->asNumber(), 2.0);
+        stage_sum += sv->find("sum")->asNumber();
+        share_sum += sv->find("share")->asNumber();
+    }
+    // The serialized stage sums partition the serialized total.
+    EXPECT_DOUBLE_EQ(stage_sum, 2.0 * 1500.0);
+    EXPECT_NEAR(share_sum, 1.0, 1e-12);
+    // Spot-check a stage against the source aggregation.
+    const auto *walk = stages->find("walk");
+    EXPECT_DOUBLE_EQ(walk->find("sum")->asNumber(),
+                     r.faultBreakdown.stageSum(obs::Stage::Walk));
+    EXPECT_DOUBLE_EQ(walk->find("sum")->asNumber(), 600.0);
 }
 

@@ -46,7 +46,8 @@ class StubHandler : public xlat::FaultHandler
 {
   public:
     void
-    onPageFault(DeviceId requester, PageId page) override
+    onPageFault(DeviceId requester, PageId page,
+                FaultId = invalidFaultId) override
     {
         faults.push_back({requester, page});
     }

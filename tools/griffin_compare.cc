@@ -1,0 +1,147 @@
+/**
+ * @file
+ * griffin-compare: diff two JSON run reports and gate on regressions.
+ *
+ *   griffin-compare REF.json CUR.json
+ *       [--fail-on METRIC:[+|-]P%]... [--verdict=FILE] [--quiet]
+ *
+ * Exit status: 0 every check passed, 1 a check or run matching
+ * failed, 2 usage / IO / parse error. With no --fail-on, the tool
+ * only prints drift (and still fails on mismatched run sets).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hh"
+#include "src/sys/compare.hh"
+
+namespace {
+
+std::optional<griffin::obs::json::Value>
+loadReport(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "griffin-compare: cannot open " << path << "\n";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto doc = griffin::obs::json::Value::parse(text.str());
+    if (!doc)
+        std::cerr << "griffin-compare: " << path << ": parse error\n";
+    return doc;
+}
+
+void
+usage()
+{
+    std::cerr << "usage: griffin-compare REF.json CUR.json"
+                 " [--fail-on METRIC:[+|-]P%]..."
+                 " [--verdict=FILE] [--quiet]\n"
+                 "  e.g. griffin-compare ref.json cur.json"
+                 " --fail-on fault_p95:+5% --fail-on cycles:+3%\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace griffin;
+
+    std::vector<std::string> files;
+    std::vector<sys::Threshold> thresholds;
+    std::string verdictFile;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string spec;
+        if (arg == "--fail-on" && i + 1 < argc) {
+            spec = argv[++i];
+        } else if (arg.rfind("--fail-on=", 0) == 0) {
+            spec = arg.substr(10);
+        } else if (arg.rfind("--verdict=", 0) == 0) {
+            verdictFile = arg.substr(10);
+            continue;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+            continue;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "griffin-compare: unknown flag " << arg << "\n";
+            usage();
+            return 2;
+        } else {
+            files.push_back(arg);
+            continue;
+        }
+        auto t = sys::parseThreshold(spec);
+        if (!t) {
+            std::cerr << "griffin-compare: bad threshold \"" << spec
+                      << "\" (want METRIC:[+|-]P%)\n";
+            return 2;
+        }
+        thresholds.push_back(std::move(*t));
+    }
+
+    if (files.size() != 2) {
+        usage();
+        return 2;
+    }
+
+    const auto ref = loadReport(files[0]);
+    const auto cur = loadReport(files[1]);
+    if (!ref || !cur)
+        return 2;
+
+    const sys::CompareResult result =
+        sys::compareReports(*ref, *cur, thresholds);
+
+    if (!verdictFile.empty()) {
+        std::ofstream os(verdictFile);
+        if (!os) {
+            std::cerr << "griffin-compare: cannot write " << verdictFile
+                      << "\n";
+            return 2;
+        }
+        os << result.verdictJson().dump(2) << "\n";
+    }
+
+    if (!quiet) {
+        for (const std::string &e : result.errors)
+            std::cout << "ERROR  " << e << "\n";
+        for (const auto &c : result.checks) {
+            if (!c.note.empty()) {
+                std::printf("FAIL   %-24s %-14s %s\n", c.run.c_str(),
+                            c.metric.c_str(), c.note.c_str());
+                continue;
+            }
+            std::printf("%-6s %-24s %-14s %14.6g -> %-14.6g %+.2f%%\n",
+                        c.ok ? "ok" : "FAIL", c.run.c_str(),
+                        c.metric.c_str(), c.ref, c.cur, c.deltaPct);
+        }
+        if (!result.drifts.empty()) {
+            std::cout << "drift (largest " << result.drifts.size()
+                      << " changes, informational):\n";
+            for (const auto &d : result.drifts) {
+                std::printf("       %-24s %-38s %14.6g -> %-14.6g"
+                            " %+.2f%%\n",
+                            d.run.c_str(), d.path.c_str(), d.ref, d.cur,
+                            d.deltaPct);
+            }
+        }
+        std::cout << (result.pass ? "PASS" : "FAIL") << "\n";
+    }
+
+    return result.pass ? 0 : 1;
+}
