@@ -31,22 +31,25 @@ main(int argc, char **argv)
     header.push_back("geomean");
     sys::Table table(header);
 
-    std::vector<double> baselines;
-    for (const auto &name : opt.workloads) {
-        baselines.push_back(double(
-            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
-                .cycles));
-    }
-
+    const std::size_t nwl = opt.workloads.size();
+    bench::Sweep sweep(opt);
+    for (const auto &name : opt.workloads)
+        sweep.add(name, sys::SystemConfig::baseline());
     for (const double alpha : alphas) {
         sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
         cfg.griffin.alpha = alpha;
+        for (const auto &name : opt.workloads)
+            sweep.add(name, cfg, "alpha=" + sys::Table::num(alpha));
+    }
+    const auto results = sweep.run();
 
+    std::size_t idx = nwl; // results[0..nwl) are the baselines
+    for (const double alpha : alphas) {
         std::vector<std::string> cells{sys::Table::num(alpha)};
         std::vector<double> speedups;
-        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
-            const auto r = bench::runWorkload(opt.workloads[i], cfg, opt);
-            const double s = baselines[i] / double(r.cycles);
+        for (std::size_t i = 0; i < nwl; ++i) {
+            const double s = double(results[i].cycles) /
+                             double(results[idx++].cycles);
             speedups.push_back(s);
             cells.push_back(sys::Table::num(s));
         }

@@ -55,16 +55,24 @@ main(int argc, char **argv)
 
     std::vector<std::vector<double>> columns(std::size(variants));
 
+    const std::size_t stride = 1 + std::size(variants);
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
-        const double base = double(
-            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
-                .cycles);
-
-        std::vector<std::string> cells{name};
-        for (std::size_t v = 0; v < std::size(variants); ++v) {
+        sweep.add(name, sys::SystemConfig::baseline());
+        for (const auto &v : variants) {
             sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
-            variants[v].apply(cfg);
-            const auto r = bench::runWorkload(name, cfg, opt);
+            v.apply(cfg);
+            sweep.add(name, cfg, std::string("variant=") + v.name);
+        }
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const double base = double(results[stride * i].cycles);
+
+        std::vector<std::string> cells{opt.workloads[i]};
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            const auto &r = results[stride * i + 1 + v];
             const double s = base / double(r.cycles);
             columns[v].push_back(s);
             cells.push_back(sys::Table::num(s));

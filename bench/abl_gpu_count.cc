@@ -29,17 +29,28 @@ main(int argc, char **argv)
     }
     sys::Table table(header);
 
-    for (const unsigned gpus : {2u, 4u, 8u}) {
-        std::vector<std::string> cells{std::to_string(gpus)};
+    const unsigned counts[] = {2, 4, 8};
+    bench::Sweep sweep(opt);
+    for (const unsigned gpus : counts) {
         for (const auto &name : opt.workloads) {
             sys::SystemConfig base_cfg = sys::SystemConfig::baseline();
             base_cfg.numGpus = gpus;
             sys::SystemConfig grif_cfg =
                 sys::SystemConfig::griffinDefault();
             grif_cfg.numGpus = gpus;
+            const std::string dim = "gpus=" + std::to_string(gpus);
+            sweep.add(name, base_cfg, dim);
+            sweep.add(name, grif_cfg, dim);
+        }
+    }
+    const auto results = sweep.run();
 
-            const auto base = bench::runWorkload(name, base_cfg, opt);
-            const auto grif = bench::runWorkload(name, grif_cfg, opt);
+    std::size_t idx = 0;
+    for (const unsigned gpus : counts) {
+        std::vector<std::string> cells{std::to_string(gpus)};
+        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+            const auto &base = results[idx++];
+            const auto &grif = results[idx++];
             cells.push_back(sys::Table::num(double(base.cycles) /
                                             double(grif.cycles)));
             cells.push_back(

@@ -27,29 +27,39 @@ main(int argc, char **argv)
         header.push_back(name);
     sys::Table table(header);
 
-    // Reference: the 4 KB baseline of Figure 12.
-    std::vector<double> ref;
-    for (const auto &name : opt.workloads) {
-        ref.push_back(double(bench::runWorkload(
-                                 name, sys::SystemConfig::baseline(), opt)
-                                 .cycles));
-    }
+    const unsigned shifts[] = {12, 13, 14, 16};
+    const std::size_t nwl = opt.workloads.size();
 
-    for (const unsigned shift : {12u, 13u, 14u, 16u}) {
+    bench::Sweep sweep(opt);
+    // Reference: the 4 KB baseline of Figure 12.
+    for (const auto &name : opt.workloads)
+        sweep.add(name, sys::SystemConfig::baseline());
+    for (const unsigned shift : shifts) {
         for (const bool griffin : {false, true}) {
             sys::SystemConfig cfg = griffin
                 ? sys::SystemConfig::griffinDefault()
                 : sys::SystemConfig::baseline();
             cfg.gpu.pageShift = shift;
+            for (const auto &name : opt.workloads) {
+                sweep.add(name, cfg,
+                          "page=" +
+                              std::to_string((1u << shift) / 1024) +
+                              "KB");
+            }
+        }
+    }
+    const auto results = sweep.run();
 
+    std::size_t idx = nwl; // results[0..nwl) are the 4 KB references
+    for (const unsigned shift : shifts) {
+        for (const bool griffin : {false, true}) {
             std::vector<std::string> cells{
                 std::to_string((1u << shift) / 1024),
                 griffin ? "griffin" : "baseline"};
-            for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
-                const auto r =
-                    bench::runWorkload(opt.workloads[i], cfg, opt);
+            for (std::size_t i = 0; i < nwl; ++i) {
                 cells.push_back(
-                    sys::Table::num(ref[i] / double(r.cycles)));
+                    sys::Table::num(double(results[i].cycles) /
+                                    double(results[idx++].cycles)));
             }
             table.addRow(std::move(cells));
         }

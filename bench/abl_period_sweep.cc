@@ -22,13 +22,6 @@ main(int argc, char **argv)
     std::cout << "=== Ablation: collection period T_ac and migration "
                  "interval ===\n\n";
 
-    std::vector<double> baselines;
-    for (const auto &name : opt.workloads) {
-        baselines.push_back(double(
-            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
-                .cycles));
-    }
-
     std::vector<std::string> header{"T_ac", "migInterval"};
     for (const auto &name : opt.workloads)
         header.push_back(name);
@@ -38,19 +31,33 @@ main(int argc, char **argv)
     const Tick periods[] = {500, 1000, 2000, 4000};
     const unsigned intervals[] = {1, 4, 8, 16};
 
+    const std::size_t nwl = opt.workloads.size();
+    bench::Sweep sweep(opt);
+    for (const auto &name : opt.workloads)
+        sweep.add(name, sys::SystemConfig::baseline());
     for (const Tick t_ac : periods) {
         for (const unsigned interval : intervals) {
             sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
             cfg.griffin.tAc = t_ac;
             cfg.griffin.migrationInterval = interval;
+            for (const auto &name : opt.workloads) {
+                sweep.add(name, cfg,
+                          "tac=" + std::to_string(t_ac) +
+                              ",mig=" + std::to_string(interval));
+            }
+        }
+    }
+    const auto results = sweep.run();
 
+    std::size_t idx = nwl; // results[0..nwl) are the baselines
+    for (const Tick t_ac : periods) {
+        for (const unsigned interval : intervals) {
             std::vector<std::string> cells{std::to_string(t_ac),
                                            std::to_string(interval)};
             std::vector<double> speedups;
-            for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
-                const auto r =
-                    bench::runWorkload(opt.workloads[i], cfg, opt);
-                const double s = baselines[i] / double(r.cycles);
+            for (std::size_t i = 0; i < nwl; ++i) {
+                const double s = double(results[i].cycles) /
+                                 double(results[idx++].cycles);
                 speedups.push_back(s);
                 cells.push_back(sys::Table::num(s));
             }

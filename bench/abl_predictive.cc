@@ -24,16 +24,21 @@ main(int argc, char **argv)
                       "Mig(R)", "Mig(P)"});
     std::vector<double> ratios;
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
-        const auto base = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
-
-        const auto reactive = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
-
+        sweep.add(name, sys::SystemConfig::baseline());
+        sweep.add(name, sys::SystemConfig::griffinDefault());
         sys::SystemConfig pcfg = sys::SystemConfig::griffinDefault();
         pcfg.griffin.enablePredictiveMigration = true;
-        const auto predictive = bench::runWorkload(name, pcfg, opt);
+        sweep.add(name, pcfg, "mode=predictive");
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &base = results[3 * i];
+        const auto &reactive = results[3 * i + 1];
+        const auto &predictive = results[3 * i + 2];
 
         const double r_spd = double(base.cycles) / double(reactive.cycles);
         const double p_spd =

@@ -24,13 +24,6 @@ main(int argc, char **argv)
     std::cout << "=== Ablation: DPC thresholds (speedup / migrations) "
                  "===\n\n";
 
-    std::vector<double> baselines;
-    for (const auto &name : opt.workloads) {
-        baselines.push_back(double(
-            bench::runWorkload(name, sys::SystemConfig::baseline(), opt)
-                .cycles));
-    }
-
     std::vector<std::string> header{"l_d", "l_s", "l_t"};
     for (const auto &name : opt.workloads) {
         header.push_back(name + " spd");
@@ -48,19 +41,33 @@ main(int argc, char **argv)
         {4.0, 1.5, 0.002},
     };
 
+    const std::size_t nwl = opt.workloads.size();
+    bench::Sweep sweep(opt);
+    for (const auto &name : opt.workloads)
+        sweep.add(name, sys::SystemConfig::baseline());
     for (const auto &pt : points) {
         sys::SystemConfig cfg = sys::SystemConfig::griffinDefault();
         cfg.griffin.lambdaD = pt.d;
         cfg.griffin.lambdaS = pt.s;
         cfg.griffin.lambdaT = pt.t;
+        for (const auto &name : opt.workloads) {
+            sweep.add(name, cfg,
+                      "ld=" + sys::Table::num(pt.d, 1) +
+                          ",ls=" + sys::Table::num(pt.s, 1) +
+                          ",lt=" + sys::Table::num(pt.t, 3));
+        }
+    }
+    const auto results = sweep.run();
 
+    std::size_t idx = nwl; // results[0..nwl) are the baselines
+    for (const auto &pt : points) {
         std::vector<std::string> cells{sys::Table::num(pt.d, 1),
                                        sys::Table::num(pt.s, 1),
                                        sys::Table::num(pt.t, 3)};
-        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
-            const auto r = bench::runWorkload(opt.workloads[i], cfg, opt);
-            cells.push_back(
-                sys::Table::num(baselines[i] / double(r.cycles)));
+        for (std::size_t i = 0; i < nwl; ++i) {
+            const auto &r = results[idx++];
+            cells.push_back(sys::Table::num(double(results[i].cycles) /
+                                            double(r.cycles)));
             cells.push_back(std::to_string(r.pagesMigratedInterGpu));
         }
         table.addRow(std::move(cells));

@@ -1,12 +1,13 @@
 /**
  * @file
  * Shared harness for the figure-regeneration benches: flag parsing,
- * workload runners, and run caching so one binary can print a whole
- * paper figure.
+ * the parallel sweep harness, and per-run observability capture so
+ * one binary can print a whole paper figure.
  *
  * Common flags:
- *   --scale=N   footprint divisor vs the paper (default 16; 1 = paper)
+ *   --scale=N   footprint divisor vs the paper (default 32; 1 = paper)
  *   --seed=N    master seed (default 42)
+ *   --jobs=N    concurrent simulations (default: hardware threads)
  *   --csv       also emit machine-readable CSV after each table
  *   --workload=X  restrict to one Table III abbreviation
  *
@@ -18,15 +19,27 @@
  *   --sample=N      sampling period in cycles (default 10000; 0 = off)
  *   --log=LEVEL     stderr log level: error|warn|info|trace
  *                   (log lines carry a [tick] prefix while a system runs)
+ *
+ * Concurrency model: benches submit every independent run of a figure
+ * to a bench::Sweep, which fans them out across --jobs worker threads
+ * (sys::SweepRunner) and returns results in submission order. Each
+ * run records into its own trace/report/samples fragments (the obs
+ * sinks are thread-local), and ObsState merges the fragments in
+ * submission order when the program exits — so every byte of stdout,
+ * CSV, trace, report and samples output is identical for --jobs=1 and
+ * --jobs=16.
  */
 
 #ifndef GRIFFIN_BENCH_COMMON_HH
 #define GRIFFIN_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +49,7 @@
 #include "src/sim/log.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
+#include "src/sys/sweep_runner.hh"
 #include "src/workloads/workload.hh"
 
 namespace griffin::bench {
@@ -45,6 +59,8 @@ struct Options
 {
     unsigned scaleDiv = 32;
     std::uint64_t seed = 42;
+    /** Concurrent simulations; 0 = one per hardware thread. */
+    unsigned jobs = 0;
     bool csv = false;
     std::vector<std::string> workloads; // empty = all ten
 
@@ -56,6 +72,30 @@ struct Options
     Tick samplePeriod = 10000;
     /** @} */
 
+    /**
+     * Parse @p flag's "=value" tail as an unsigned integer. Rejects
+     * non-numeric input, trailing garbage, overflow, and values
+     * outside [min, max] with a friendly message and exit code 2 —
+     * never an uncaught std::stoul throw.
+     */
+    static std::uint64_t
+    parseNum(const std::string &arg, std::size_t eq, const char *flag,
+             std::uint64_t min, std::uint64_t max)
+    {
+        const std::string text = arg.substr(eq);
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+        if (text.empty() || end != text.c_str() + text.size() ||
+            text[0] == '-' || errno == ERANGE || v < min || v > max) {
+            std::cerr << "error: " << flag << " wants an integer in ["
+                      << min << ", " << max << "], got '" << text
+                      << "'\n";
+            std::exit(2);
+        }
+        return v;
+    }
+
     static Options
     parse(int argc, char **argv)
     {
@@ -63,9 +103,15 @@ struct Options
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg.rfind("--scale=", 0) == 0) {
-                opt.scaleDiv = unsigned(std::stoul(arg.substr(8)));
+                // 0 would divide every footprint by zero downstream.
+                opt.scaleDiv = unsigned(
+                    parseNum(arg, 8, "--scale", 1, 1u << 20));
             } else if (arg.rfind("--seed=", 0) == 0) {
-                opt.seed = std::stoull(arg.substr(7));
+                opt.seed = parseNum(arg, 7, "--seed", 0,
+                                    std::uint64_t(-1));
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                opt.jobs = unsigned(
+                    parseNum(arg, 7, "--jobs", 1, 1024));
             } else if (arg == "--csv") {
                 opt.csv = true;
             } else if (arg.rfind("--workload=", 0) == 0) {
@@ -79,7 +125,8 @@ struct Options
             } else if (arg.rfind("--samples=", 0) == 0) {
                 opt.samplesFile = arg.substr(10);
             } else if (arg.rfind("--sample=", 0) == 0) {
-                opt.samplePeriod = Tick(std::stoull(arg.substr(9)));
+                opt.samplePeriod = Tick(parseNum(arg, 9, "--sample", 0,
+                                                 std::uint64_t(-1)));
             } else if (arg.rfind("--log=", 0) == 0) {
                 const std::string lvl = arg.substr(6);
                 if (lvl == "error")
@@ -94,7 +141,7 @@ struct Options
                     std::cerr << "unknown log level '" << lvl
                               << "' (error|warn|info|trace)\n";
             } else if (arg == "--help" || arg == "-h") {
-                std::cout << "flags: --scale=N --seed=N --csv"
+                std::cout << "flags: --scale=N --seed=N --jobs=N --csv"
                              " --workload=ABBV (repeatable)"
                              " --trace=FILE [--trace-all]"
                              " --report=FILE --samples=FILE"
@@ -128,10 +175,21 @@ struct Options
     }
 };
 
+/** The run-label policy half ("griffin" / "first-touch"). */
+inline const char *
+policyName(const sys::SystemConfig &scfg)
+{
+    return scfg.policy == sys::PolicyKind::Griffin ? "griffin"
+                                                   : "first-touch";
+}
+
 /**
- * Process-lifetime observability state for a bench binary: one trace
- * session and one report document accumulate across every run; the
- * files are written when the program exits.
+ * Process-lifetime observability state for a bench binary. Every run
+ * deposits its own fragments — trace session, report JSON, samples
+ * CSV — under a mutex, keyed by submission index; the files are
+ * written at program exit by merging the fragments in index order.
+ * Concurrent runs therefore serialize only a cheap hand-off, and the
+ * merged output is independent of completion order.
  */
 class ObsState
 {
@@ -139,34 +197,42 @@ class ObsState
     explicit ObsState(const Options &opt)
         : _traceFile(opt.traceFile), _reportFile(opt.reportFile),
           _samplesFile(opt.samplesFile),
-          _runs(obs::json::Value::array())
+          _categories(opt.traceAllCategories ? obs::allCategories
+                                             : obs::defaultCategories)
     {
-        if (!_traceFile.empty()) {
-            _trace = std::make_unique<obs::TraceSession>(
-                opt.traceAllCategories ? obs::allCategories
-                                       : obs::defaultCategories);
-            _trace->attach();
-        }
     }
 
     ~ObsState()
     {
-        if (_trace) {
-            _trace->detach();
+        if (!_traceFile.empty()) {
+            std::vector<const obs::TraceSession *> sessions;
+            std::size_t events = 0;
+            for (const Slot &slot : _slots) {
+                sessions.push_back(slot.trace.get());
+                if (slot.trace)
+                    events += slot.trace->eventCount();
+            }
             std::ofstream os(_traceFile);
-            _trace->writeJson(os);
-            std::cerr << "trace: " << _traceFile << " ("
-                      << _trace->eventCount() << " events)\n";
+            obs::TraceSession::writeMerged(os, sessions);
+            std::cerr << "trace: " << _traceFile << " (" << events
+                      << " events)\n";
         }
         if (!_reportFile.empty()) {
+            obs::json::Value runs = obs::json::Value::array();
+            for (Slot &slot : _slots) {
+                if (slot.hasReport)
+                    runs.push(std::move(slot.report));
+            }
             obs::json::Value doc = obs::json::Value::object();
-            doc["runs"] = std::move(_runs);
+            doc["runs"] = std::move(runs);
             std::ofstream os(_reportFile);
             os << doc.dump(2) << "\n";
             std::cerr << "report: " << _reportFile << "\n";
         }
         if (!_samplesFile.empty()) {
-            const std::string csv = _samplesCsv.str();
+            std::string csv;
+            for (const Slot &slot : _slots)
+                csv += slot.samplesCsv;
             if (csv.empty()) {
                 std::cerr << "samples: nothing sampled (is --sample=0?), "
                           << "not writing " << _samplesFile << "\n";
@@ -178,23 +244,53 @@ class ObsState
         }
     }
 
-    obs::TraceSession *trace() { return _trace.get(); }
+    bool tracing() const { return !_traceFile.empty(); }
+    std::uint32_t categories() const { return _categories; }
 
-    void
-    addRun(const std::string &label, const sys::SystemConfig &scfg,
-           const sys::RunResult &result, const obs::Sampler *sampler)
+    /** Claim the next submission-ordered slot (main thread). */
+    std::size_t
+    reserveSlot()
     {
-        if (!_reportFile.empty())
-            _runs.push(sys::runReportJson(label, scfg, result, sampler));
+        std::lock_guard<std::mutex> guard(_mu);
+        _slots.emplace_back();
+        return _slots.size() - 1;
+    }
+
+    /**
+     * Deposit one run's fragments (worker thread, after the run).
+     * @p trace may be null; @p sampler may be null.
+     */
+    void
+    addRun(std::size_t slot, const std::string &label,
+           const sys::SystemConfig &scfg, const sys::RunResult &result,
+           const obs::Sampler *sampler,
+           std::shared_ptr<obs::TraceSession> trace)
+    {
+        std::lock_guard<std::mutex> guard(_mu);
+        Slot &s = _slots[slot];
+        if (!_reportFile.empty()) {
+            s.report = sys::runReportJson(label, scfg, result, sampler);
+            s.hasReport = true;
+        }
         if (!_samplesFile.empty() && sampler)
-            _samplesCsv << "# " << label << "\n" << sampler->csv();
+            s.samplesCsv = "# " + label + "\n" + sampler->csv();
+        s.trace = std::move(trace);
     }
 
   private:
+    struct Slot
+    {
+        obs::json::Value report;
+        bool hasReport = false;
+        std::string samplesCsv;
+        std::shared_ptr<obs::TraceSession> trace;
+    };
+
     std::string _traceFile, _reportFile, _samplesFile;
-    std::unique_ptr<obs::TraceSession> _trace;
-    obs::json::Value _runs;
-    std::ostringstream _samplesCsv;
+    std::uint32_t _categories;
+
+    std::mutex _mu;
+    std::vector<Slot> _slots;
 };
 
 /** The bench-wide ObsState; the first call's options stick. */
@@ -206,38 +302,126 @@ obsState(const Options &opt)
 }
 
 /**
- * Run one workload on one system configuration.
+ * A batch of independent runs. add() every run of the figure, then
+ * run() once; results come back in submission order, and each run's
+ * observability fragments land in the process-wide ObsState.
+ *
+ *   bench::Sweep sweep(opt);
+ *   const auto base = sweep.add("MT", sys::SystemConfig::baseline());
+ *   const auto grif = sweep.add("MT", sys::SystemConfig::griffinDefault());
+ *   const auto &rs = sweep.run();
+ *   ... rs[base].cycles, rs[grif].cycles ...
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(const Options &opt)
+        : _opt(opt), _runner(opt.jobs), _obs(obsState(opt))
+    {
+    }
+
+    /**
+     * Submit one run of @p name under @p scfg.
+     *
+     * @param dim  the distinguishing config dimension for sweeps that
+     *             run the same workload/policy more than once
+     *             ("gpus=4", "alpha=0.25"); it keeps run labels
+     *             unique, which sys::compare enforces.
+     * @param setup optional extra per-run setup (access probes, ...),
+     *             invoked on the worker thread before the run.
+     * @return the submission index into run()'s result vector.
+     */
+    std::size_t
+    add(const std::string &name, const sys::SystemConfig &scfg,
+        const std::string &dim = std::string(),
+        std::function<void(sys::MultiGpuSystem &)> setup = nullptr)
+    {
+        bool known = false;
+        for (const auto &w : wl::workloadNames())
+            known = known || w == name;
+        if (!known) {
+            std::cerr << "unknown workload: " << name << "\n";
+            std::exit(1);
+        }
+
+        std::string label = name + "/" + policyName(scfg);
+        if (!dim.empty())
+            label += "/" + dim;
+
+        const std::size_t slot = _obs.reserveSlot();
+
+        // Per-run sinks, created on the main thread so fragments are
+        // slot-ordered, attached and filled on the worker thread.
+        std::shared_ptr<obs::TraceSession> trace;
+        if (_obs.tracing()) {
+            trace = std::make_shared<obs::TraceSession>(
+                _obs.categories());
+            trace->beginProcess(label);
+        }
+        std::shared_ptr<obs::Sampler> sampler;
+        if (_opt.wantSamples())
+            sampler = std::make_shared<obs::Sampler>();
+        const Tick period = _opt.samplePeriod;
+
+        sys::SweepJob job;
+        job.label = label;
+        job.config = scfg;
+        job.makeWorkload = [name, wcfg = _opt.workloadConfig()] {
+            return wl::makeWorkload(name, wcfg);
+        };
+        job.preRun = [trace, sampler, period,
+                      setup = std::move(setup)](
+                         sys::MultiGpuSystem &system) {
+            if (trace)
+                trace->attach();
+            if (sampler) {
+                system.registerProbes(*sampler);
+                sampler->start(system.engine(), period);
+            }
+            if (setup)
+                setup(system);
+        };
+        job.postRun = [obs = &_obs, slot, label, scfg, trace,
+                       sampler](sys::MultiGpuSystem &,
+                                const sys::RunResult &result) {
+            if (sampler)
+                sampler->stop();
+            if (trace)
+                trace->detach();
+            obs->addRun(slot, label, scfg, result, sampler.get(),
+                        trace);
+        };
+        return _runner.submit(std::move(job));
+    }
+
+    /** Execute the batch; results in submission order. */
+    std::vector<sys::RunResult>
+    run()
+    {
+        return _runner.run();
+    }
+
+    unsigned workers() const { return _runner.workers(); }
+
+  private:
+    const Options &_opt;
+    sys::SweepRunner _runner;
+    ObsState &_obs;
+};
+
+/**
+ * Run one workload on one system configuration, immediately. The
+ * serial convenience wrapper over Sweep for benches whose next config
+ * depends on the previous result; everything independent should batch
+ * runs through a Sweep instead.
  */
 inline sys::RunResult
 runWorkload(const std::string &name, const sys::SystemConfig &scfg,
-            const Options &opt)
+            const Options &opt, const std::string &dim = std::string())
 {
-    auto workload = wl::makeWorkload(name, opt.workloadConfig());
-    if (!workload) {
-        std::cerr << "unknown workload: " << name << "\n";
-        std::exit(1);
-    }
-
-    ObsState &obs = obsState(opt);
-    const std::string label = name + "/" +
-        (scfg.policy == sys::PolicyKind::Griffin ? "griffin"
-                                                 : "first-touch");
-    if (obs.trace())
-        obs.trace()->beginProcess(label);
-
-    sys::MultiGpuSystem system(scfg);
-    obs::Sampler sampler;
-    const bool want_samples = opt.wantSamples();
-    if (want_samples) {
-        system.registerProbes(sampler);
-        sampler.start(system.engine(), opt.samplePeriod);
-    }
-
-    sys::RunResult result = system.run(*workload);
-
-    sampler.stop();
-    obs.addRun(label, scfg, result, want_samples ? &sampler : nullptr);
-    return result;
+    Sweep sweep(opt);
+    sweep.add(name, scfg, dim);
+    return sweep.run().at(0);
 }
 
 /** Print a table, optionally followed by CSV. */

@@ -15,7 +15,6 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "src/workloads/suite.hh"
 
 using namespace griffin;
 
@@ -24,26 +23,30 @@ main(int argc, char **argv)
 {
     const auto opt = bench::Options::parse(argc, argv);
 
-    wl::ScWorkload sc(opt.workloadConfig());
-    sys::MultiGpuSystem system(sys::SystemConfig::baseline());
-    const unsigned num_gpus = system.numGpus();
-
     // Track accesses per (bucket, gpu) for every page; pick the most
     // accessed page afterwards — the paper plots exactly that page.
     constexpr Tick bucket = 10000; // paper: x10000 cycles
     std::map<PageId, std::map<std::uint64_t,
                               std::vector<std::uint64_t>>> counts;
     std::map<PageId, std::uint64_t> totals;
+    unsigned num_gpus = 0;
 
-    system.setAccessProbe([&](Tick now, DeviceId gpu, PageId page) {
-        auto &row = counts[page][now / bucket];
-        if (row.empty())
-            row.assign(num_gpus, 0);
-        ++row[gpu - 1];
-        ++totals[page];
-    });
-
-    const auto result = system.run(sc);
+    // A single-job sweep runs inline on this thread, so the probe may
+    // write straight into the local maps.
+    bench::Sweep sweep(opt);
+    sweep.add("SC", sys::SystemConfig::baseline(), "",
+              [&](sys::MultiGpuSystem &system) {
+                  num_gpus = system.numGpus();
+                  system.setAccessProbe(
+                      [&](Tick now, DeviceId gpu, PageId page) {
+                          auto &row = counts[page][now / bucket];
+                          if (row.empty())
+                              row.assign(num_gpus, 0);
+                          ++row[gpu - 1];
+                          ++totals[page];
+                      });
+              });
+    const auto result = sweep.run().at(0);
 
     PageId hot = 0;
     std::uint64_t best = 0;

@@ -24,9 +24,14 @@ main(int argc, char **argv)
     sys::Table table({"Benchmark", "GPU1%", "GPU2%", "GPU3%", "GPU4%",
                       "onCPU", "maxShare"});
 
-    for (const auto &name : opt.workloads) {
-        const auto r = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
+    bench::Sweep sweep(opt);
+    for (const auto &name : opt.workloads)
+        sweep.add(name, sys::SystemConfig::baseline());
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &r = results[i];
 
         std::uint64_t on_gpus = 0;
         for (std::size_t dev = 1; dev < r.pagesPerDevice.size(); ++dev)

@@ -44,11 +44,17 @@ main(int argc, char **argv)
                       "B:G1%", "B:G2%", "B:G3%", "B:G4%", "B:max",
                       "G:G1%", "G:G2%", "G:G3%", "G:G4%", "G:max"});
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
-        const auto base = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
-        const auto grif = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
+        sweep.add(name, sys::SystemConfig::baseline());
+        sweep.add(name, sys::SystemConfig::griffinDefault());
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &base = results[2 * i];
+        const auto &grif = results[2 * i + 1];
 
         std::vector<std::string> cells{name};
         for (auto &c : shareCells(base))

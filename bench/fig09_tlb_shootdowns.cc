@@ -23,11 +23,17 @@ main(int argc, char **argv)
     sys::Table table({"Benchmark", "Base(cpu)", "Grif(cpu)", "Grif(gpu)",
                       "Normalized", ""});
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
-        const auto base = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
-        const auto grif = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
+        sweep.add(name, sys::SystemConfig::baseline());
+        sweep.add(name, sys::SystemConfig::griffinDefault());
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &base = results[2 * i];
+        const auto &grif = results[2 * i + 1];
 
         const double norm = base.totalShootdowns()
             ? double(grif.totalShootdowns()) /

@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "src/workloads/suite.hh"
 
 using namespace griffin;
 
@@ -69,31 +68,33 @@ main(int argc, char **argv)
 {
     const auto opt = bench::Options::parse(argc, argv);
 
-    wl::ScWorkload sc(opt.workloadConfig());
+    // The two passes are dependent (pass 2 probes the page pass 1
+    // found), so each is its own single-job sweep — which executes
+    // inline, making the probe writes into the local state safe.
 
     // Pass 1: find the page whose dominant accessor shifts the most
     // (under the baseline, where nothing migrates to confound it).
     PageId hot = 0;
     {
-        wl::ScWorkload probe_wl(opt.workloadConfig());
-        sys::MultiGpuSystem probe_sys(sys::SystemConfig::baseline());
         std::map<PageId,
                  std::map<std::uint64_t, std::vector<std::uint64_t>>>
             counts;
-        probe_sys.setAccessProbe([&](Tick t, DeviceId gpu, PageId page) {
-            auto &row = counts[page][t / 20000];
-            if (row.empty())
-                row.assign(4, 0);
-            ++row[gpu - 1];
-        });
-        probe_sys.run(probe_wl);
+        bench::Sweep probe(opt);
+        probe.add("SC", sys::SystemConfig::baseline(), "pass=probe",
+                  [&](sys::MultiGpuSystem &probe_sys) {
+                      probe_sys.setAccessProbe(
+                          [&](Tick t, DeviceId gpu, PageId page) {
+                              auto &row = counts[page][t / 20000];
+                              if (row.empty())
+                                  row.assign(4, 0);
+                              ++row[gpu - 1];
+                          });
+                  });
+        probe.run();
         hot = findOwnerShiftingPage(counts);
     }
 
     // Pass 2: probe that page's DPC state every period.
-    sys::MultiGpuSystem system(sys::SystemConfig::griffinDefault());
-    const unsigned num_gpus = system.numGpus();
-
     struct Sample
     {
         Tick t;
@@ -101,15 +102,24 @@ main(int argc, char **argv)
         DeviceId loc;
     };
     std::vector<Sample> samples;
-    system.griffinPolicy()->setPeriodProbe(
-        [&](Tick t, PageId page, const std::vector<double> &counts,
-            DeviceId loc) {
-            (void)page;
-            samples.push_back(Sample{t, counts, loc});
-        },
-        {hot});
+    unsigned num_gpus = 0;
+    Tick t_ac = 0;
 
-    const auto result = system.run(sc);
+    bench::Sweep sweep(opt);
+    sweep.add("SC", sys::SystemConfig::griffinDefault(), "",
+              [&](sys::MultiGpuSystem &system) {
+                  num_gpus = system.numGpus();
+                  t_ac = system.config().griffin.tAc;
+                  system.griffinPolicy()->setPeriodProbe(
+                      [&](Tick t, PageId page,
+                          const std::vector<double> &counts,
+                          DeviceId loc) {
+                          (void)page;
+                          samples.push_back(Sample{t, counts, loc});
+                      },
+                      {hot});
+              });
+    const auto result = sweep.run().at(0);
 
     std::cout << "=== Figure 10: DPC tracking of an owner-shifting SC page ("
               << hot << ") ===\n"
@@ -123,7 +133,6 @@ main(int argc, char **argv)
     header.push_back("location");
     sys::Table table(header);
 
-    const Tick t_ac = system.config().griffin.tAc;
     DeviceId last_loc = invalidDeviceId;
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const auto &s = samples[i];

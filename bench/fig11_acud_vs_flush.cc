@@ -24,13 +24,20 @@ main(int argc, char **argv)
                       "Discarded", "Migrations", ""});
     std::vector<double> speedups;
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
         sys::SystemConfig flush_cfg = sys::SystemConfig::griffinDefault();
         flush_cfg.griffin.useAcud = false;
-        const auto flush = bench::runWorkload(name, flush_cfg, opt);
+        // Both runs are Griffin: the dim keeps the labels distinct.
+        sweep.add(name, flush_cfg, "acud=off");
+        sweep.add(name, sys::SystemConfig::griffinDefault(), "acud=on");
+    }
+    const auto results = sweep.run();
 
-        const auto acud = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &flush = results[2 * i];
+        const auto &acud = results[2 * i + 1];
 
         const double speedup =
             double(flush.cycles) / double(acud.cycles);

@@ -25,11 +25,17 @@ main(int argc, char **argv)
                       "Speedup", "Local%Base", "Local%Grif", ""});
     std::vector<double> speedups;
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
-        const auto base = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
-        const auto grif = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
+        sweep.add(name, sys::SystemConfig::baseline());
+        sweep.add(name, sys::SystemConfig::griffinDefault());
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &base = results[2 * i];
+        const auto &grif = results[2 * i + 1];
 
         const double speedup = double(base.cycles) / double(grif.cycles);
         speedups.push_back(speedup);

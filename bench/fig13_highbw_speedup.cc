@@ -26,20 +26,30 @@ main(int argc, char **argv)
                       "Speedup", "Spd(PCIe)", ""});
     std::vector<double> speedups;
 
+    bench::Sweep sweep(opt);
     for (const auto &name : opt.workloads) {
         sys::SystemConfig base_cfg = sys::SystemConfig::baseline();
         base_cfg.withHighBandwidthFabric();
         sys::SystemConfig grif_cfg = sys::SystemConfig::griffinDefault();
         grif_cfg.withHighBandwidthFabric();
 
-        const auto base = bench::runWorkload(name, base_cfg, opt);
-        const auto grif = bench::runWorkload(name, grif_cfg, opt);
-
+        // Each workload/policy runs on both fabrics: the dim keeps
+        // the four labels distinct.
+        sweep.add(name, base_cfg, "fabric=hbw");
+        sweep.add(name, grif_cfg, "fabric=hbw");
         // The PCIe numbers for comparison (Figure 12's experiment).
-        const auto base_pcie = bench::runWorkload(
-            name, sys::SystemConfig::baseline(), opt);
-        const auto grif_pcie = bench::runWorkload(
-            name, sys::SystemConfig::griffinDefault(), opt);
+        sweep.add(name, sys::SystemConfig::baseline(), "fabric=pcie");
+        sweep.add(name, sys::SystemConfig::griffinDefault(),
+                  "fabric=pcie");
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+        const auto &name = opt.workloads[i];
+        const auto &base = results[4 * i];
+        const auto &grif = results[4 * i + 1];
+        const auto &base_pcie = results[4 * i + 2];
+        const auto &grif_pcie = results[4 * i + 3];
 
         const double speedup = double(base.cycles) / double(grif.cycles);
         const double pcie =

@@ -50,14 +50,20 @@ main(int argc, char **argv)
     sys::Table table({"Workload", "Policy", "Cycles", "Faults",
                       "FaultP95", "Local%"});
 
+    // No dims here: the gate labels ("MT/griffin", ...) are pinned by
+    // the committed BENCH_*.json references.
+    bench::Sweep sweep(opt);
     for (const auto &name : selected) {
+        sweep.add(name, sys::SystemConfig::baseline());
+        sweep.add(name, sys::SystemConfig::griffinDefault());
+    }
+    const auto results = sweep.run();
+
+    for (std::size_t i = 0; i < selected.size(); ++i) {
         for (const bool griffin_run : {false, true}) {
-            const auto cfg = griffin_run
-                                 ? sys::SystemConfig::griffinDefault()
-                                 : sys::SystemConfig::baseline();
-            const auto res = bench::runWorkload(name, cfg, opt);
+            const auto &res = results[2 * i + (griffin_run ? 1 : 0)];
             table.addRow(
-                {name, griffin_run ? "griffin" : "first-touch",
+                {selected[i], griffin_run ? "griffin" : "first-touch",
                  std::to_string(res.cycles),
                  std::to_string(std::uint64_t(
                      res.faultBreakdown.faults())),

@@ -14,6 +14,7 @@
 
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
+#include "src/sys/sweep_runner.hh"
 #include "src/workloads/workload.hh"
 
 using namespace griffin;
@@ -25,17 +26,6 @@ struct Variant
     std::string name;
     sys::SystemConfig config;
 };
-
-sys::RunResult
-run(const std::string &workload, unsigned scale,
-    const sys::SystemConfig &cfg)
-{
-    wl::WorkloadConfig wcfg;
-    wcfg.scaleDiv = scale;
-    auto w = wl::makeWorkload(workload, wcfg);
-    sys::MultiGpuSystem system(cfg);
-    return system.run(*w);
-}
 
 } // namespace
 
@@ -80,12 +70,28 @@ main(int argc, char **argv)
     sys::Table table({"Variant", "Cycles", "Speedup", "Local%",
                       "InterGPU", "Shootdowns"});
 
-    double base_cycles = 0;
+    // All variants are independent: fan them out across the hardware
+    // threads and read the results back in submission order.
+    sys::SweepRunner runner;
+    wl::WorkloadConfig wcfg;
+    wcfg.scaleDiv = scale;
     for (const auto &variant : variants) {
-        const auto r = run(name, scale, variant.config);
+        sys::SweepJob job;
+        job.label = variant.name;
+        job.config = variant.config;
+        job.makeWorkload = [name, wcfg] {
+            return wl::makeWorkload(name, wcfg);
+        };
+        runner.submit(std::move(job));
+    }
+    const auto results = runner.run();
+
+    double base_cycles = 0;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &r = results[i];
         if (base_cycles == 0)
             base_cycles = double(r.cycles);
-        table.addRow({variant.name, std::to_string(r.cycles),
+        table.addRow({variants[i].name, std::to_string(r.cycles),
                       sys::Table::num(base_cycles / double(r.cycles)),
                       sys::Table::num(100 * r.localFraction(), 1),
                       std::to_string(r.pagesMigratedInterGpu),

@@ -2,7 +2,7 @@
 
 namespace griffin::obs {
 
-Metrics *Metrics::s_active = nullptr;
+thread_local Metrics *Metrics::s_active = nullptr;
 
 Metrics::~Metrics()
 {

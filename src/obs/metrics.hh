@@ -39,8 +39,11 @@ struct LatencyHistograms
 };
 
 /**
- * Attachable collection point. Single-threaded simulation: a plain
- * static pointer, LIFO attach/detach like TraceSession.
+ * Attachable collection point: a thread_local pointer, LIFO
+ * attach/detach like TraceSession. Each simulation is single-threaded,
+ * but independent simulations may run on concurrent worker threads
+ * (sys::SweepRunner), so every thread has its own active instance and
+ * parallel runs never record into each other's histograms.
  */
 class Metrics
 {
@@ -53,17 +56,18 @@ class Metrics
 
     LatencyHistograms latency;
 
+    /** Attach/detach on the calling thread (LIFO, single-threaded). */
     void attach();
     void detach();
 
-    /** The metrics instance collecting now, or nullptr. */
+    /** The calling thread's collecting instance, or nullptr. */
     static Metrics *active() { return s_active; }
 
   private:
     Metrics *_prevActive = nullptr;
     bool _attached = false;
 
-    static Metrics *s_active;
+    static thread_local Metrics *s_active;
 };
 
 } // namespace griffin::obs

@@ -5,7 +5,7 @@
 
 namespace griffin::obs {
 
-FaultSpans *FaultSpans::s_active = nullptr;
+thread_local FaultSpans *FaultSpans::s_active = nullptr;
 
 const char *
 stageName(Stage stage)

@@ -16,8 +16,10 @@
  * A `FaultId` is allocated (and a record created) only when a fault
  * is actually raised, so the per-fault overhead is a handful of hash
  * map operations against a population of at most a few thousand
- * faults per run. Like `Metrics`, the sink is a LIFO-attached static
- * pointer; nothing is recorded when none is attached.
+ * faults per run. Like `Metrics`, the sink is a LIFO-attached
+ * thread_local pointer; nothing is recorded when none is attached on
+ * the calling thread, and concurrent simulations on worker threads
+ * (sys::SweepRunner) each record into their own sink.
  */
 
 #ifndef GRIFFIN_OBS_SPAN_HH
@@ -153,10 +155,11 @@ class FaultSpans
     FaultSpans(const FaultSpans &) = delete;
     FaultSpans &operator=(const FaultSpans &) = delete;
 
+    /** Attach/detach on the calling thread (LIFO, single-threaded). */
     void attach();
     void detach();
 
-    /** The sink collecting now, or nullptr. */
+    /** The calling thread's collecting sink, or nullptr. */
     static FaultSpans *active() { return s_active; }
 
     /**
@@ -224,7 +227,7 @@ class FaultSpans
     FaultSpans *_prevActive = nullptr;
     bool _attached = false;
 
-    static FaultSpans *s_active;
+    static thread_local FaultSpans *s_active;
 };
 
 } // namespace griffin::obs

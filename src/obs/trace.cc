@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "src/obs/json.hh"
 
 namespace griffin::obs {
 
-TraceSession *TraceSession::s_active = nullptr;
+thread_local TraceSession *TraceSession::s_active = nullptr;
 
 const char *
 categoryName(Category cat)
@@ -222,38 +224,134 @@ TraceSession::writeJson(std::ostream &os) const
 
     for (const Event *ev : sorted) {
         sep();
-        os << "{\"name\":\"" << json::escape(ev->name) << "\",\"cat\":\""
-           << ev->cat << "\",\"ph\":\"" << ev->ph
-           << "\",\"pid\":" << ev->pid << ",\"tid\":" << ev->tid
-           << ",\"ts\":" << ev->ts;
-        switch (ev->ph) {
-          case 'X':
-            os << ",\"dur\":" << ev->dur;
-            break;
-          case 'i':
-            os << ",\"s\":\"t\"";
-            break;
-          case 'C': {
-            char buf[32];
-            std::snprintf(buf, sizeof buf, "%.6g", ev->value);
-            os << ",\"args\":{\"value\":" << buf << "}}";
-            continue;
-          }
-          case 's':
-            os << ",\"id\":" << ev->flowId;
-            break;
-          case 't':
-          case 'f':
-            // Bind to the enclosing slice so arrows land on the spans
-            // they causally connect.
-            os << ",\"id\":" << ev->flowId << ",\"bp\":\"e\"";
-            break;
-          default:
-            break;
+        writeEvent(os, *ev, ev->pid);
+    }
+    os << "\n]}\n";
+}
+
+void
+TraceSession::writeEvent(std::ostream &os, const Event &ev,
+                         std::uint32_t pid)
+{
+    os << "{\"name\":\"" << json::escape(ev.name) << "\",\"cat\":\""
+       << ev.cat << "\",\"ph\":\"" << ev.ph << "\",\"pid\":" << pid
+       << ",\"tid\":" << ev.tid << ",\"ts\":" << ev.ts;
+    switch (ev.ph) {
+      case 'X':
+        os << ",\"dur\":" << ev.dur;
+        break;
+      case 'i':
+        os << ",\"s\":\"t\"";
+        break;
+      case 'C': {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", ev.value);
+        os << ",\"args\":{\"value\":" << buf << "}}";
+        return;
+      }
+      case 's':
+        os << ",\"id\":" << ev.flowId;
+        break;
+      case 't':
+      case 'f':
+        // Bind to the enclosing slice so arrows land on the spans
+        // they causally connect.
+        os << ",\"id\":" << ev.flowId << ",\"bp\":\"e\"";
+        break;
+      default:
+        break;
+    }
+    if (!ev.args.empty())
+        os << ",\"args\":" << ev.args;
+    os << "}";
+}
+
+void
+TraceSession::writeMerged(std::ostream &os,
+                          const std::vector<const TraceSession *> &sessions)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Renumber processes globally: session order, then local pid
+    // order. The implicit "sim" process (local pid 0) is included
+    // only when a session recorded events without ever calling
+    // beginProcess.
+    struct PidKey
+    {
+        std::size_t session;
+        std::uint32_t localPid;
+        bool operator<(const PidKey &o) const
+        {
+            return session != o.session ? session < o.session
+                                        : localPid < o.localPid;
         }
-        if (!ev->args.empty())
-            os << ",\"args\":" << ev->args;
-        os << "}";
+    };
+    std::map<PidKey, std::uint32_t> pidMap;
+    std::uint32_t nextPid = 1;
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+        const TraceSession *t = sessions[s];
+        if (!t)
+            continue;
+        for (std::uint32_t p = 0; p < t->_processNames.size(); ++p) {
+            if (p == 0 && t->_processNames.size() > 1)
+                continue; // the implicit "sim" process went unused
+            pidMap.emplace(PidKey{s, p}, nextPid);
+            sep();
+            os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+               << nextPid << ",\"tid\":0,\"args\":{\"name\":\""
+               << json::escape(t->_processNames[p]) << "\"}}";
+            ++nextPid;
+        }
+    }
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+        const TraceSession *t = sessions[s];
+        if (!t)
+            continue;
+        for (const auto &[pid, track] : t->_trackNames) {
+            sep();
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+               << pidMap.at(PidKey{s, pid}) << ",\"tid\":"
+               << t->_tracks.at(std::make_pair(pid, track))
+               << ",\"args\":{\"name\":\"" << json::escape(track)
+               << "\"}}";
+        }
+    }
+
+    // One global timeline: stable sort keeps session order (and then
+    // emission order) for same-tick events.
+    struct Ref
+    {
+        const Event *ev;
+        std::uint32_t pid;
+    };
+    std::vector<Ref> sorted;
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+        const TraceSession *t = sessions[s];
+        if (!t)
+            continue;
+        sorted.reserve(sorted.size() + t->_events.size());
+        for (const Event &ev : t->_events) {
+            // Events recorded before the first beginProcess() of a
+            // multi-process session keep the unnamed pid 0.
+            const auto it = pidMap.find(PidKey{s, ev.pid});
+            sorted.push_back(Ref{&ev, it != pidMap.end() ? it->second : 0});
+        }
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Ref &a, const Ref &b) {
+                         return a.ev->ts < b.ev->ts;
+                     });
+
+    for (const Ref &r : sorted) {
+        sep();
+        writeEvent(os, *r.ev, r.pid);
     }
     os << "\n]}\n";
 }

@@ -15,8 +15,14 @@
  *    pmcN, executor, dpc, linkN...), one trace "process" per run so a
  *    multi-run bench produces one navigable file.
  *
- * The simulation is single-threaded by construction (see sim/log.hh),
- * so the active-session pointer needs no synchronization.
+ * Each simulation is single-threaded, but independent simulations may
+ * run concurrently on different OS threads (sys::SweepRunner). The
+ * active-session pointer is therefore thread_local: a session records
+ * only the events of the thread it was attached on, and parallel runs
+ * each attach their own session. writeMerged() folds the per-run
+ * sessions back into one document in a deterministic, submission-
+ * ordered way, so a parallel sweep's trace file is byte-identical to
+ * a serial one.
  */
 
 #ifndef GRIFFIN_OBS_TRACE_HH
@@ -98,13 +104,19 @@ class TraceSession
 
     /** @name Session attachment @{ */
 
-    /** Make this the active session (saves/restores any previous). */
+    /**
+     * Make this the active session *on the calling thread* (saves and
+     * restores any previous one, LIFO). A session must be attached,
+     * detached and recorded into on a single thread; naming processes
+     * before handing it to that thread is fine as long as the hand-off
+     * synchronizes (e.g. thread creation).
+     */
     void attach();
 
     /** Stop recording into this session. */
     void detach();
 
-    /** The session events are currently recorded into, or nullptr. */
+    /** The calling thread's active session, or nullptr. */
     static TraceSession *active() { return s_active; }
 
     /**
@@ -169,6 +181,19 @@ class TraceSession
     void writeJson(std::ostream &os) const;
     std::string json() const;
 
+    /**
+     * Serialize several sessions as ONE trace document: every named
+     * process of every session becomes a distinct pid, numbered in
+     * session order, and all events share one timestamp-sorted
+     * timeline (the sort is stable, so same-tick events keep session
+     * order, then emission order). The output depends only on the
+     * order and contents of @p sessions — never on which threads
+     * recorded them — which is what makes parallel sweep traces
+     * byte-identical to serial ones. Null entries are skipped.
+     */
+    static void writeMerged(std::ostream &os,
+                            const std::vector<const TraceSession *> &sessions);
+
   private:
     struct Event
     {
@@ -197,9 +222,11 @@ class TraceSession
     TraceSession *_prevActive = nullptr;
     bool _attached = false;
 
-    static TraceSession *s_active;
+    static thread_local TraceSession *s_active;
 
     std::uint32_t trackId(const std::string &track);
+    static void writeEvent(std::ostream &os, const Event &ev,
+                           std::uint32_t pid);
 };
 
 } // namespace griffin::obs

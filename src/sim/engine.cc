@@ -10,6 +10,8 @@ namespace griffin::sim {
 Tick
 Engine::run()
 {
+    // Reset per-run stop state: a stop requested during (or after) a
+    // previous run must not make this run return immediately.
     _stopRequested = false;
     for (;;) {
         const Tick next = _queue.nextTime();

@@ -48,6 +48,10 @@ class Engine
      * Run until the event queue drains, a component calls
      * requestStop(), or the watchdog trips.
      *
+     * An engine is reusable: each call clears any stop request left
+     * over from a previous run (or raised while not running), so a
+     * stopped engine can schedule more work and run() again.
+     *
      * @return the simulated end time.
      * @throws std::runtime_error if the watchdog limit is exceeded.
      */
@@ -59,7 +63,10 @@ class Engine
     /** Ask the run loop to stop after the current event. */
     void requestStop() { _stopRequested = true; }
 
-    /** True once requestStop() was called during run(). */
+    /**
+     * True once requestStop() was called during (or since) the last
+     * run(); cleared again when the next run() starts.
+     */
     bool stopRequested() const { return _stopRequested; }
 
     /** Total executed events. */

@@ -3,12 +3,20 @@
 #include <cassert>
 #include <utility>
 
+#include "src/sim/log.hh"
+
 namespace griffin::sim {
 
 void
 EventQueue::scheduleAt(Tick when, EventFn fn)
 {
-    assert(when >= _now && "cannot schedule an event in the past");
+    if (when < _now) {
+        // A component computed an absolute time that already passed —
+        // diagnose loudly, then clamp so time stays monotone.
+        GLOG(Warn, "scheduleAt(" << when << ") is in the past (now "
+                                 << _now << "); clamping to now");
+        when = _now;
+    }
     _heap.push(Entry{when, _nextSeq++, std::move(fn)});
 }
 

@@ -46,7 +46,13 @@ class EventQueue
      */
     void schedule(Tick delay, EventFn fn) { scheduleAt(_now + delay, std::move(fn)); }
 
-    /** Schedule @p fn at absolute time @p when (must be >= now()). */
+    /**
+     * Schedule @p fn at absolute time @p when. Scheduling in the past
+     * (@p when < now()) is a modeling bug: it is diagnosed with a
+     * warning and clamped to now(), so time never runs backwards and
+     * the event still executes (after all previously scheduled work
+     * for the current tick).
+     */
     void scheduleAt(Tick when, EventFn fn);
 
     /** True when no events remain. */

@@ -1,6 +1,7 @@
 #include "src/sim/log.hh"
 
 #include <iostream>
+#include <mutex>
 #include <string>
 
 #include "src/sim/engine.hh"
@@ -21,7 +22,17 @@ levelName(LogLevel lvl)
     return "?";
 }
 
+/** Serializes sink calls so concurrent workers emit whole lines. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 } // namespace
+
+thread_local const Engine *Log::t_clock = nullptr;
 
 Log &
 Log::instance()
@@ -43,12 +54,6 @@ Log::resetSink()
 }
 
 void
-Log::setClock(const Engine *engine)
-{
-    instance()._clock = engine;
-}
-
-void
 Log::write(LogLevel lvl, const std::string &msg)
 {
     if (!enabled(lvl))
@@ -59,12 +64,13 @@ Log::write(LogLevel lvl, const std::string &msg)
     // Built with append() rather than an operator+ chain to dodge a
     // GCC 12 -Wrestrict false positive (PR105651) at -O2 and above.
     std::string line;
-    if (log._clock) {
+    if (t_clock) {
         line += '[';
-        line += std::to_string(log._clock->now());
+        line += std::to_string(t_clock->now());
         line += "] ";
     }
     line += msg;
+    std::lock_guard<std::mutex> guard(sinkMutex());
     if (log._sink) {
         log._sink(lvl, line);
     } else {

@@ -9,7 +9,10 @@
  * When a simulation engine is registered as the clock (MultiGpuSystem
  * does this for its lifetime), every message is prefixed with the
  * current simulated tick — "[12345] msg" — so log lines correlate
- * directly with trace-event timestamps.
+ * directly with trace-event timestamps. The clock registration is
+ * per-thread: concurrent simulations (sys::SweepRunner workers) each
+ * stamp their own engine's time, and a mutex keeps whole lines from
+ * interleaving in the shared sink.
  */
 
 #ifndef GRIFFIN_SIM_LOG_HH
@@ -29,8 +32,11 @@ class Engine;
 enum class LogLevel { Error, Warn, Info, Trace };
 
 /**
- * Process-wide logger configuration. A plain singleton: simulation is
- * single-threaded by construction, so no synchronization is needed.
+ * Process-wide logger configuration. Level and sink are global and
+ * expected to be configured once, before any worker threads start
+ * (benches set them during flag parsing); the borrowed clock is
+ * thread_local so parallel simulations timestamp independently, and
+ * write() serializes sink calls under a mutex.
  */
 class Log
 {
@@ -48,14 +54,15 @@ class Log
     static void resetSink();
 
     /**
-     * Borrow @p engine as the timestamp source: subsequent messages
-     * are prefixed with "[tick] ". Pass nullptr to drop the prefix.
-     * The engine must outlive the registration.
+     * Borrow @p engine as the calling thread's timestamp source:
+     * subsequent messages from this thread are prefixed with
+     * "[tick] ". Pass nullptr to drop the prefix. The engine must
+     * outlive the registration.
      */
-    static void setClock(const Engine *engine);
+    static void setClock(const Engine *engine) { t_clock = engine; }
 
-    /** The currently borrowed clock (nullptr when none). */
-    static const Engine *clock() { return instance()._clock; }
+    /** The calling thread's borrowed clock (nullptr when none). */
+    static const Engine *clock() { return t_clock; }
 
     /** Emit a message if @p lvl is enabled. */
     static void write(LogLevel lvl, const std::string &msg);
@@ -68,7 +75,8 @@ class Log
 
     LogLevel _level = LogLevel::Warn;
     Sink _sink;
-    const Engine *_clock = nullptr;
+
+    static thread_local const Engine *t_clock;
 };
 
 /**

@@ -22,10 +22,14 @@ deltaPercent(double ref, double cur)
     return cur > 0.0 ? 1e9 : -1e9;
 }
 
-/** The "runs" of a report document, keyed by label. */
+/**
+ * The "runs" of a report document, keyed by label. A duplicate label
+ * is fatal: the comparison would silently match an arbitrary one of
+ * the duplicates, so the caller must refuse to produce a verdict.
+ */
 std::map<std::string, const obs::json::Value *>
 runsByLabel(const obs::json::Value &doc, std::vector<std::string> &errors,
-            const char *which)
+            bool &fatal, const char *which)
 {
     std::map<std::string, const obs::json::Value *> out;
     const obs::json::Value *runs = &doc;
@@ -51,7 +55,13 @@ runsByLabel(const obs::json::Value &doc, std::vector<std::string> &errors,
                              std::to_string(i) + " has no label");
             continue;
         }
-        out.emplace(label->asString(), &run);
+        if (!out.emplace(label->asString(), &run).second) {
+            errors.push_back(std::string(which) + ": duplicate run label \"" +
+                             label->asString() +
+                             "\" — labels must be unique within a report "
+                             "(add a config dim to the sweep labels)");
+            fatal = true;
+        }
     }
     return out;
 }
@@ -167,10 +177,14 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
 {
     CompareResult result;
 
-    const auto ref_runs = runsByLabel(ref, result.errors, "reference");
-    const auto cur_runs = runsByLabel(cur, result.errors, "current");
+    const auto ref_runs =
+        runsByLabel(ref, result.errors, result.fatal, "reference");
+    const auto cur_runs =
+        runsByLabel(cur, result.errors, result.fatal, "current");
     if (!result.errors.empty())
         result.pass = false;
+    if (result.fatal)
+        return result; // ambiguous labels: no verdict is trustworthy
 
     for (const auto &[label, cur_run] : cur_runs) {
         (void)cur_run;
@@ -258,7 +272,7 @@ obs::json::Value
 CompareResult::verdictJson() const
 {
     obs::json::Value v = obs::json::Value::object();
-    v["status"] = pass ? "pass" : "fail";
+    v["status"] = fatal ? "fatal" : pass ? "pass" : "fail";
 
     obs::json::Value jchecks = obs::json::Value::array();
     for (const CheckResult &c : checks) {

@@ -100,6 +100,13 @@ struct Drift
 struct CompareResult
 {
     bool pass = true;
+    /**
+     * True when the comparison itself is invalid — e.g. a report
+     * contains two runs with the same label, so there is no way to
+     * tell which pair was compared. Tools should report this as a
+     * usage-class failure (exit 2), distinct from a metric fail.
+     */
+    bool fatal = false;
     std::vector<CheckResult> checks;
     std::vector<Drift> drifts; ///< largest |delta| first, capped
     std::vector<std::string> errors; ///< missing runs, parse problems

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,75 @@ TEST(TraceSession, ProcessesSeparateRuns)
     EXPECT_GE(pid_a, 0.0);
     EXPECT_GE(pid_b, 0.0);
     EXPECT_NE(pid_a, pid_b);
+}
+
+TEST(TraceSession, WriteMergedFoldsSessionsInSubmissionOrder)
+{
+    // Two per-run sessions merged into one document: pids renumbered
+    // in session order, events interleaved by timestamp. The output
+    // depends only on the session list, never on which thread (or in
+    // which order) the sessions were filled — the property the bench
+    // harness's --jobs byte-identity rests on.
+    TraceSession a;
+    a.beginProcess("MT/first-touch");
+    a.instant(CatFault, "driver", "a1", 100);
+    a.instant(CatFault, "driver", "a2", 300);
+
+    TraceSession b;
+    b.beginProcess("MT/griffin");
+    b.instant(CatFault, "driver", "b1", 200);
+
+    std::ostringstream ab;
+    TraceSession::writeMerged(ab, {&a, &b});
+
+    const auto doc = obs::json::Value::parse(ab.str());
+    ASSERT_TRUE(doc.has_value()) << ab.str();
+    const auto *events = doc->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // Metadata first (one process_name per session), then the three
+    // instants in global timestamp order with distinct pids.
+    std::vector<std::string> names;
+    std::vector<double> pids;
+    double prev_ts = -1.0;
+    int process_metas = 0;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const auto &e = events->at(i);
+        if (e.find("ph")->asString() == "M") {
+            if (e.find("name")->asString() == "process_name")
+                ++process_metas;
+            continue;
+        }
+        const double ts = e.find("ts")->asNumber();
+        EXPECT_GE(ts, prev_ts);
+        prev_ts = ts;
+        names.push_back(e.find("name")->asString());
+        pids.push_back(e.find("pid")->asNumber());
+    }
+    EXPECT_EQ(process_metas, 2);
+    EXPECT_EQ(names, (std::vector<std::string>{"a1", "b1", "a2"}));
+    ASSERT_EQ(pids.size(), 3u);
+    EXPECT_EQ(pids[0], pids[2]); // both from session a
+    EXPECT_NE(pids[0], pids[1]); // session b got its own pid
+}
+
+TEST(TraceSession, WriteMergedIsDeterministicAcrossCalls)
+{
+    TraceSession a, b;
+    a.beginProcess("one");
+    b.beginProcess("two");
+    a.instant(CatFault, "x", "e1", 10);
+    b.instant(CatFault, "x", "e2", 10); // same timestamp: stable order
+
+    std::ostringstream first, second;
+    TraceSession::writeMerged(first, {&a, &b});
+    TraceSession::writeMerged(second, {&a, &b});
+    EXPECT_EQ(first.str(), second.str());
+
+    // Null sessions (skipped runs) are tolerated and ignored.
+    std::ostringstream with_null;
+    TraceSession::writeMerged(with_null, {&a, nullptr, &b});
+    EXPECT_EQ(with_null.str(), first.str());
 }
 
 TEST(TraceSession, FlowEventsCarryIdAndBindingPoint)

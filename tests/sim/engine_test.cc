@@ -50,6 +50,35 @@ TEST(Engine, RunAfterStopResumesPendingWork)
     EXPECT_EQ(fired, 1);
 }
 
+TEST(Engine, StopRequestedBeforeRunDoesNotPoisonTheRun)
+{
+    // A stray requestStop() between runs (e.g. from a shutdown hook)
+    // must not make the next run() return without executing anything.
+    Engine e;
+    e.requestStop();
+    int fired = 0;
+    e.schedule(10, [&] { ++fired; });
+    EXPECT_EQ(e.run(), 10u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(e.stopRequested());
+}
+
+TEST(Engine, ReusedEngineRunsBackToBack)
+{
+    // One engine, several run() calls: each drains the queue from the
+    // prior stopping point with no stale stop state.
+    Engine e;
+    std::vector<Tick> stops;
+    for (int round = 0; round < 3; ++round) {
+        e.schedule(10, [&e] { e.requestStop(); }); // delay from now
+        e.schedule(15, [] {});
+        stops.push_back(e.run());
+    }
+    EXPECT_EQ(stops, (std::vector<Tick>{10, 20, 30}));
+    // Final drain picks up the last straggler, scheduled at 20+15.
+    EXPECT_EQ(e.run(), 35u);
+}
+
 TEST(Engine, WatchdogThrowsOnRunaway)
 {
     Engine e(/*max_ticks=*/1000);

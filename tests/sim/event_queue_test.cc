@@ -123,13 +123,36 @@ TEST(EventQueue, ScheduleAtCurrentTimeIsLegal)
     EXPECT_TRUE(ran);
 }
 
-TEST(EventQueueDeath, SchedulingInThePastAsserts)
+TEST(EventQueue, SchedulingInThePastClampsToNow)
 {
     EventQueue q;
     q.schedule(10, [] {});
     q.run();
     EXPECT_EQ(q.now(), 10u);
-    EXPECT_DEATH(q.scheduleAt(5, [] {}), "past");
+
+    // A past-time schedule is a model bug, but killing a long sweep
+    // over it helps nobody: the event is clamped to now and a warning
+    // logged, so time still never moves backwards.
+    Tick ranAt = 0;
+    q.scheduleAt(5, [&] { ranAt = q.now(); });
+    q.run();
+    EXPECT_EQ(ranAt, 10u);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, ClampedPastEventKeepsFifoOrderAtNow)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+
+    // The clamped event lands at now *after* anything already
+    // scheduled there, preserving same-tick FIFO determinism.
+    std::vector<int> order;
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(3, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueue, ManyEventsKeepTotalOrder)

@@ -172,6 +172,47 @@ TEST(CompareReports, MissingRunInCurrentFails)
     EXPECT_FALSE(res.errors.empty());
 }
 
+TEST(CompareReports, DuplicateLabelsAreFatal)
+{
+    // Two runs sharing a label make every per-label lookup ambiguous;
+    // the comparison must refuse a verdict rather than silently
+    // matching one of the pair (griffin-compare exits 2 on fatal).
+    Value extra = Value::object();
+    extra["label"] = "MT/griffin";
+    Value result = Value::object();
+    result["cycles"] = 9999.0;
+    extra["result"] = std::move(result);
+
+    const Value base = makeReport(1000.0, 5000.0);
+    Value dupRuns = Value::array();
+    dupRuns.push(base.find("runs")->at(0));
+    dupRuns.push(std::move(extra));
+    Value dupDoc = Value::object();
+    dupDoc["runs"] = std::move(dupRuns);
+
+    const auto res =
+        compareReports(base, dupDoc, {*parseThreshold("cycles:+5%")});
+    EXPECT_TRUE(res.fatal);
+    EXPECT_FALSE(res.pass);
+    EXPECT_TRUE(res.checks.empty())
+        << "no checks may be reported off an ambiguous label match";
+    bool mentioned = false;
+    for (const auto &e : res.errors)
+        mentioned = mentioned ||
+                    e.find("duplicate run label") != std::string::npos;
+    EXPECT_TRUE(mentioned);
+    EXPECT_EQ(res.verdictJson().find("status")->asString(), "fatal");
+}
+
+TEST(CompareReports, UniqueLabelsAreNotFatal)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const auto res =
+        compareReports(ref, ref, {*parseThreshold("cycles:+5%")});
+    EXPECT_FALSE(res.fatal);
+    EXPECT_TRUE(res.pass);
+}
+
 TEST(CompareReports, MissingMetricFails)
 {
     const Value ref = makeReport(1000.0, 5000.0);

@@ -6,8 +6,10 @@
  *       [--fail-on METRIC:[+|-]P%]... [--verdict=FILE] [--quiet]
  *
  * Exit status: 0 every check passed, 1 a check or run matching
- * failed, 2 usage / IO / parse error. With no --fail-on, the tool
- * only prints drift (and still fails on mismatched run sets).
+ * failed, 2 usage / IO / parse error or an invalid comparison (e.g.
+ * duplicate run labels in a report — there is no way to tell which
+ * pair was compared). With no --fail-on, the tool only prints drift
+ * (and still fails on mismatched run sets).
  */
 
 #include <cstdio>
@@ -140,8 +142,12 @@ main(int argc, char **argv)
                             d.deltaPct);
             }
         }
-        std::cout << (result.pass ? "PASS" : "FAIL") << "\n";
+        std::cout << (result.fatal ? "FATAL"
+                                   : result.pass ? "PASS" : "FAIL")
+                  << "\n";
     }
 
+    if (result.fatal)
+        return 2;
     return result.pass ? 0 : 1;
 }
