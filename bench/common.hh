@@ -20,6 +20,11 @@
  *   --log=LEVEL     stderr log level: error|warn|info|trace
  *                   (log lines carry a [tick] prefix while a system runs)
  *
+ * Chaos flags (fault injection, see src/sys/chaos.hh):
+ *   --chaos=SPEC    inject faults: a bare rate ("0.01") or key=value
+ *                   pairs ("dma=0.5,link=0.02,ack=0.2,timeout=200000")
+ *   --chaos-seed=N  seed of the injector's private RNG streams
+ *
  * Concurrency model: benches submit every independent run of a figure
  * to a bench::Sweep, which fans them out across --jobs worker threads
  * (sys::SweepRunner) and returns results in submission order. Each
@@ -40,6 +45,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +53,7 @@
 #include "src/obs/sampler.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
+#include "src/sys/chaos.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/report.hh"
 #include "src/sys/sweep_runner.hh"
@@ -71,6 +78,9 @@ struct Options
     bool traceAllCategories = false;
     Tick samplePeriod = 10000;
     /** @} */
+
+    /** Fault injection, set by --chaos / --chaos-seed. */
+    std::optional<sys::ChaosConfig> chaos;
 
     /**
      * Parse @p flag's "=value" tail as an unsigned integer. Rejects
@@ -100,6 +110,8 @@ struct Options
     parse(int argc, char **argv)
     {
         Options opt;
+        std::string chaos_spec;
+        std::optional<std::uint64_t> chaos_seed;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg.rfind("--scale=", 0) == 0) {
@@ -127,6 +139,11 @@ struct Options
             } else if (arg.rfind("--sample=", 0) == 0) {
                 opt.samplePeriod = Tick(parseNum(arg, 9, "--sample", 0,
                                                  std::uint64_t(-1)));
+            } else if (arg.rfind("--chaos=", 0) == 0) {
+                chaos_spec = arg.substr(8);
+            } else if (arg.rfind("--chaos-seed=", 0) == 0) {
+                chaos_seed = parseNum(arg, 13, "--chaos-seed", 0,
+                                      std::uint64_t(-1));
             } else if (arg.rfind("--log=", 0) == 0) {
                 const std::string lvl = arg.substr(6);
                 if (lvl == "error")
@@ -145,12 +162,29 @@ struct Options
                              " --workload=ABBV (repeatable)"
                              " --trace=FILE [--trace-all]"
                              " --report=FILE --samples=FILE"
-                             " --sample=N --log=LEVEL\n";
+                             " --sample=N --log=LEVEL"
+                             " --chaos=SPEC --chaos-seed=N\n";
                 std::exit(0);
             } else {
                 std::cerr << "warning: unrecognized flag '" << arg
                           << "' ignored (see --help)\n";
             }
+        }
+        if (!chaos_spec.empty()) {
+            auto cc = sys::ChaosConfig::parse(chaos_spec);
+            if (!cc) {
+                std::cerr << "error: malformed --chaos spec '"
+                          << chaos_spec
+                          << "' (a rate in [0,1] or key=value pairs; "
+                             "see --help)\n";
+                std::exit(2);
+            }
+            if (chaos_seed)
+                cc->seed = *chaos_seed;
+            opt.chaos = *cc;
+        } else if (chaos_seed) {
+            std::cerr << "warning: --chaos-seed without --chaos has no "
+                         "effect\n";
         }
         if (opt.workloads.empty())
             opt.workloads = wl::workloadNames();
@@ -366,6 +400,8 @@ class Sweep
         sys::SweepJob job;
         job.label = label;
         job.config = scfg;
+        if (_opt.chaos)
+            job.config.chaos = *_opt.chaos;
         job.makeWorkload = [name, wcfg = _opt.workloadConfig()] {
             return wl::makeWorkload(name, wcfg);
         };

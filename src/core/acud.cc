@@ -7,6 +7,7 @@
 
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
+#include "src/sys/chaos.hh"
 
 namespace griffin::core {
 
@@ -69,23 +70,89 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
     GLOG(Trace, "executor: batch of " << pages->size()
                 << " pages from gpu " << source);
 
-    auto transfer_phase = [this, moves, done = std::move(done)]() mutable {
-        auto remaining = std::make_shared<std::size_t>(moves->size());
+    auto transfer_phase = [this, moves, source,
+                           done = std::move(done)]() mutable {
+        // Shared between the per-page completions and the batch
+        // timeout: exactly one side sends the drain reply.
+        struct BatchState
+        {
+            std::size_t remaining = 0;
+            bool aborted = false;
+            sim::TimerId timer = sim::invalidTimerId;
+            std::vector<bool> landed;
+        };
+        auto state = std::make_shared<BatchState>();
+        state->remaining = moves->size();
+        state->landed.assign(moves->size(), false);
         auto all_done = std::make_shared<sim::EventFn>(std::move(done));
-        for (const auto &move : *moves) {
+        for (std::size_t i = 0; i < moves->size(); ++i) {
+            const auto &move = (*moves)[i];
             ++pagesMigrated;
             ++migrationsByClass[std::size_t(move.reason)];
             _pmcs[move.from]->transferPage(
                 move.page, move.to,
-                [this, move, remaining, all_done] {
+                [this, move, i, state, all_done] {
+                    if (state->aborted) {
+                        // The batch timeout already gave up on this
+                        // page and replayed its parked translations
+                        // against the old location: the page must not
+                        // move anymore.
+                        ++lateTransferCompletions;
+                        return;
+                    }
+                    state->landed[i] = true;
                     _pageTable.setLocation(move.page, move.to);
                     _iommu.onMigrationDone(move.page);
-                    if (--*remaining == 0) {
+                    if (--state->remaining == 0) {
+                        if (state->timer != sim::invalidTimerId)
+                            _engine.cancelTimeout(state->timer);
                         // Completion notification back to the driver.
                         _network.send(move.to, cpuDeviceId,
                                       ic::MessageSizes::drainReply,
                                       std::move(*all_done));
                     }
+                });
+        }
+        if (_injector && _injector->config().migrationTimeout > 0) {
+            const Tick timeout = _injector->config().migrationTimeout;
+            state->timer = _engine.scheduleTimeout(
+                timeout,
+                [this, moves, source, state, all_done, timeout] {
+                    if (state->remaining == 0)
+                        return;
+                    // Abort every page still in flight: it stays at
+                    // its source, the parked translations replay
+                    // against the unchanged page table, and the DPC
+                    // may re-select it in a later period.
+                    state->aborted = true;
+                    ++batchesAborted;
+                    std::size_t stuck = 0;
+                    for (std::size_t i = 0; i < moves->size(); ++i) {
+                        if (state->landed[i])
+                            continue;
+                        ++stuck;
+                        const auto &move = (*moves)[i];
+                        mem::PageInfo &pi =
+                            _pageTable.info(move.page);
+                        pi.migrating = false;
+                        pi.migrationPending = false;
+                        _injector->noteFallback();
+                        _injector->noteMigrationTimeout();
+                        _iommu.onMigrationDone(move.page);
+                    }
+                    _injector->noteRecoveryCycles(timeout);
+                    if (auto *tr = obs::TraceSession::activeFor(
+                            obs::CatChaos)) {
+                        tr->instant(obs::CatChaos, "executor",
+                                    "batch_timeout", _engine.now(),
+                                    obs::TraceArgs()
+                                        .add("source", source)
+                                        .add("stuck", stuck));
+                    }
+                    // Unblock the driver-side chain.
+                    _network.send(source, cpuDeviceId,
+                                  ic::MessageSizes::drainReply,
+                                  std::move(*all_done));
                 });
         }
     };
@@ -106,13 +173,44 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
             for (const PageId page : *pages)
                 _iommu.blockPage(page);
             Tick wb_done = _engine.now();
+            Tick ack_penalty = 0;
             if (selective) {
                 src_gpu->shootdownPages(*pages);
                 wb_done = src_gpu->flushCachesForPages(*pages);
+                if (_injector) {
+                    // Lost-ACK recovery: each lost completion ACK
+                    // costs one ACK timeout, then the shootdown is
+                    // re-issued (idempotent). Bounded so a hostile
+                    // seed cannot wedge the batch.
+                    const auto &cc = _injector->config();
+                    unsigned reissues = 0;
+                    while (reissues < cc.shootdownMaxReissues &&
+                           _injector->loseShootdownAck()) {
+                        ++reissues;
+                        ++shootdownsReissued;
+                        _injector->noteRetry();
+                        src_gpu->shootdownPages(*pages);
+                        ack_penalty += cc.shootdownAckTimeout;
+                    }
+                    if (ack_penalty > 0) {
+                        _injector->noteRecoveryCycles(ack_penalty);
+                        if (auto *tr = obs::TraceSession::activeFor(
+                                obs::CatChaos)) {
+                            tr->instant(obs::CatChaos, "executor",
+                                        "shootdown_ack_lost",
+                                        _engine.now(),
+                                        obs::TraceArgs()
+                                            .add("reissues", reissues)
+                                            .add("penalty",
+                                                 ack_penalty));
+                        }
+                    }
+                }
             }
             const Tick resume_at =
                 std::max(wb_done, _engine.now() +
-                                      src_gpu->config().shootdownLatency);
+                                      src_gpu->config().shootdownLatency) +
+                ack_penalty;
             _engine.scheduleAt(resume_at,
                                [src_gpu,
                                 transfer_phase = std::move(transfer_phase)]

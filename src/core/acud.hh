@@ -28,6 +28,10 @@
 #include "src/sim/engine.hh"
 #include "src/xlat/iommu.hh"
 
+namespace griffin::sys {
+class FaultInjector;
+} // namespace griffin::sys
+
 namespace griffin::core {
 
 /**
@@ -56,10 +60,23 @@ class MigrationExecutor
      */
     void executeBatch(const MigrationBatch &batch, sim::EventFn done);
 
+    /**
+     * Attach a fault injector (nullptr detaches). When set, shootdown
+     * ACKs may be lost (the executor re-issues after a timeout) and a
+     * per-batch migration timeout aborts transfers that never land.
+     */
+    void setFaultInjector(sys::FaultInjector *injector)
+    {
+        _injector = injector;
+    }
+
     /** @name Statistics @{ */
     std::uint64_t batchesExecuted = 0;
     std::uint64_t pagesMigrated = 0;
     std::uint64_t migrationsByClass[5] = {0, 0, 0, 0, 0};
+    std::uint64_t shootdownsReissued = 0; ///< lost-ACK recoveries
+    std::uint64_t batchesAborted = 0;     ///< batch timeout fired
+    std::uint64_t lateTransferCompletions = 0; ///< landed after abort
     /** @} */
 
   private:
@@ -70,6 +87,7 @@ class MigrationExecutor
     std::vector<gpu::Gpu *> _gpus;
     std::vector<gpu::Pmc *> _pmcs;
     bool _useAcud;
+    sys::FaultInjector *_injector = nullptr;
 
     gpu::Gpu *gpuOf(DeviceId dev) { return _gpus[dev - 1]; }
 };

@@ -83,6 +83,7 @@ class GriffinPolicy : public MigrationPolicy
     const Dpc &dpc() const { return _dpc; }
     const Cpms &cpms() const { return _cpms; }
     const MigrationExecutor &executor() const { return _executor; }
+    MigrationExecutor &executor() { return _executor; }
 
     /** @name Statistics @{ */
     std::uint64_t periodsRun = 0;

@@ -7,6 +7,7 @@
 #include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
+#include "src/sys/chaos.hh"
 
 namespace griffin::driver {
 
@@ -127,9 +128,29 @@ Driver::startBatch()
             // shootdown/flush) ends here for every batch member.
             obs::FaultSpans::markActive(fault.fid, obs::Stage::Shootdown,
                                         _engine.now());
+            // Shared between the DMA completion and the migration
+            // timeout: exactly one of the two commits the outcome.
+            struct XferState
+            {
+                bool completed = false;
+                bool aborted = false;
+                sim::TimerId timer = sim::invalidTimerId;
+            };
+            auto state = std::make_shared<XferState>();
             _cpuPmc.transferPage(
                 fault.page, fault.requester,
-                [this, fault] {
+                [this, fault, state] {
+                    if (state->aborted) {
+                        // The DMA landed after the timeout already
+                        // aborted this migration and replied to the
+                        // parked requesters: the page must stay where
+                        // the replies said it was (CPU, DCA fallback).
+                        ++lateDmaCompletions;
+                        return;
+                    }
+                    state->completed = true;
+                    if (state->timer != sim::invalidTimerId)
+                        _engine.cancelTimeout(state->timer);
                     ++pagesMigratedIn;
                     _pageTable.setLocation(fault.page, fault.requester);
                     if (_config.pinAfterMigration)
@@ -141,6 +162,43 @@ Driver::startBatch()
                     _iommu.onMigrationDone(fault.page);
                 },
                 fault.fid);
+            if (_injector && _config.migrationTimeout > 0 &&
+                !state->completed) {
+                state->timer = _engine.scheduleTimeout(
+                    _config.migrationTimeout, [this, fault, state] {
+                        if (state->completed)
+                            return;
+                        // Abort: unpin, unblock, and degrade the page
+                        // to DCA remote access so the parked requests
+                        // (and all future ones) are served from CPU
+                        // memory instead of re-faulting forever.
+                        state->aborted = true;
+                        ++migrationTimeouts;
+                        _injector->noteFallback();
+                        _injector->noteMigrationTimeout();
+                        _injector->noteRecoveryCycles(
+                            _config.migrationTimeout);
+                        mem::PageInfo &pi = _pageTable.info(fault.page);
+                        pi.migrating = false;
+                        pi.pinned = false;
+                        pi.dcaFallback = true;
+                        if (auto *m = obs::Metrics::active()) {
+                            m->latency.faultLatency.sample(
+                                double(_engine.now() - fault.raisedAt));
+                        }
+                        if (auto *tr = obs::TraceSession::activeFor(
+                                obs::CatChaos)) {
+                            tr->instant(obs::CatChaos, kTrack,
+                                        "migration_timeout",
+                                        _engine.now(),
+                                        obs::TraceArgs()
+                                            .add("page", fault.page)
+                                            .add("gpu",
+                                                 fault.requester));
+                        }
+                        _iommu.onMigrationDone(fault.page);
+                    });
+            }
         }
         _processing = false;
         maybeStartBatch();

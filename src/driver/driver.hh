@@ -48,6 +48,12 @@ struct DriverConfig
     Tick faultServiceLatency = 600;
     /** Pin pages on the GPU after migration (baseline behaviour). */
     bool pinAfterMigration = false;
+    /**
+     * Abort a migration whose DMA has not completed after this many
+     * cycles: unpin the page, degrade it to DCA remote access and
+     * replay the parked translations (chaos recovery; 0 disables).
+     */
+    Tick migrationTimeout = 0;
 };
 
 /**
@@ -68,6 +74,16 @@ class Driver : public xlat::FaultHandler
 
     const DriverConfig &config() const { return _config; }
 
+    /**
+     * Attach a fault injector (nullptr detaches). Timeout recovery is
+     * only armed while an injector is attached, so fault-free runs pay
+     * nothing.
+     */
+    void setFaultInjector(sys::FaultInjector *injector)
+    {
+        _injector = injector;
+    }
+
     /** xlat::FaultHandler */
     void onPageFault(DeviceId requester, PageId page,
                      FaultId fid = invalidFaultId) override;
@@ -84,6 +100,8 @@ class Driver : public xlat::FaultHandler
     /** CPU-side TLB shootdowns + flushes (one per batch). */
     std::uint64_t cpuShootdowns = 0;
     std::uint64_t pagesMigratedIn = 0; ///< CPU -> GPU migrations
+    std::uint64_t migrationTimeouts = 0; ///< aborted by the timeout
+    std::uint64_t lateDmaCompletions = 0; ///< landed after an abort
     /** @} */
 
   private:
@@ -100,6 +118,7 @@ class Driver : public xlat::FaultHandler
     xlat::Iommu &_iommu;
     gpu::Pmc &_cpuPmc;
     DriverConfig _config;
+    sys::FaultInjector *_injector = nullptr;
 
     std::deque<Fault> _queue;
     bool _processing = false;

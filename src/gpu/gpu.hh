@@ -97,6 +97,12 @@ class Gpu : public CuMemoryInterface
     /** Number of CUs currently executing a workgroup (probes). */
     unsigned busyCus() const;
 
+    /** Workgroups queued but not yet dispatched (watchdog probe). */
+    std::size_t queuedWorkgroups() const { return _wgQueue.size(); }
+
+    /** True while an ACUD drain awaits quiescence (watchdog probe). */
+    bool drainActive() const { return bool(_drainDone); }
+
     /** @} */
 
     /** @name CU memory interface @{ */

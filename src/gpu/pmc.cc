@@ -7,6 +7,7 @@
 #include "src/obs/metrics.hh"
 #include "src/obs/span.hh"
 #include "src/obs/trace.hh"
+#include "src/sys/chaos.hh"
 
 namespace griffin::gpu {
 
@@ -52,50 +53,30 @@ Pmc::startTransfer(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
         }
     }
 
-    // Slot bookkeeping: release the DMA slot (and start the next
-    // queued transfer) before the driver-side completion runs, so a
-    // completion that immediately requests another transfer sees a
-    // free slot.
-    done = [this, fid, done = std::move(done)] {
-        obs::FaultSpans::markActive(fid, obs::Stage::Transfer,
-                                    _engine.now());
-        assert(_inflight > 0);
-        --_inflight;
-        if (!_pending.empty() &&
-            (_maxConcurrent == 0 || _inflight < _maxConcurrent)) {
-            Pending next = std::move(_pending.front());
-            _pending.pop_front();
-            startTransfer(next.page, next.dst, std::move(next.done),
-                          next.fid);
-        }
-        done();
-    };
+    runAttempt(page, dst, std::move(done), fid, 1, _engine.now());
+}
 
-    // Observability wrapper: time the whole read->stream->write span.
-    // Only pay for the wrapper when someone is listening.
-    if (obs::Metrics::active() || obs::TraceSession::active()) {
-        const Tick begin = _engine.now();
-        done = [this, page, dst, begin, done = std::move(done)] {
-            const Tick end = _engine.now();
-            if (auto *m = obs::Metrics::active()) {
-                auto &hist = _self == cpuDeviceId
-                                 ? m->latency.cpuMigrationLatency
-                                 : m->latency.interGpuMigrationLatency;
-                hist.sample(double(end - begin));
-            }
-            if (auto *tr =
-                    obs::TraceSession::activeFor(obs::CatMigration)) {
-                tr->complete(obs::CatMigration,
-                             "pmc" + std::to_string(_self),
-                             "migrate_page", begin, end,
-                             obs::TraceArgs()
-                                 .add("page", page)
-                                 .add("dst", dst));
-            }
-            done();
-        };
+void
+Pmc::releaseSlot()
+{
+    // Release the DMA slot (and start the next queued transfer)
+    // before any driver-side completion runs, so a completion that
+    // immediately requests another transfer sees a free slot.
+    assert(_inflight > 0);
+    --_inflight;
+    if (!_pending.empty() &&
+        (_maxConcurrent == 0 || _inflight < _maxConcurrent)) {
+        Pending next = std::move(_pending.front());
+        _pending.pop_front();
+        startTransfer(next.page, next.dst, std::move(next.done),
+                      next.fid);
     }
+}
 
+void
+Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
+                unsigned attempt, Tick begin)
+{
     // Source DRAM read: pages are page-aligned, so use the page base
     // as the address for channel selection.
     const Addr base = Addr(page) * _pageBytes;
@@ -104,17 +85,92 @@ Pmc::startTransfer(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
                               std::uint32_t(_pageBytes), false);
 
     // Stream across the fabric once the read completes, then commit
-    // into the destination DRAM.
-    _engine.scheduleAt(read_done, [this, base, dst,
+    // into the destination DRAM. An injected failure strikes at
+    // stream arrival, before the destination write.
+    _engine.scheduleAt(read_done, [this, page, base, dst, fid, attempt,
+                                   begin,
                                    done = std::move(done)]() mutable {
-        _network.send(_self, dst,
-                      _pageBytes + ic::MessageSizes::header,
-                      [this, base, dst, done = std::move(done)]() mutable {
-                          const Tick write_done = _drams[dst]->access(
-                              _engine.now(), base,
-                              std::uint32_t(_pageBytes), true);
-                          _engine.scheduleAt(write_done, std::move(done));
-                      });
+        _network.send(
+            _self, dst, _pageBytes + ic::MessageSizes::header,
+            [this, page, base, dst, fid, attempt, begin,
+             done = std::move(done)]() mutable {
+                if (_injector && _injector->failDmaTransfer()) {
+                    ++transfersFailed;
+                    const auto &cc = _injector->config();
+                    if (attempt > cc.dmaMaxRetries) {
+                        // Retry budget exhausted: abandon the
+                        // transfer. Its completion never fires; the
+                        // arming side's migration timeout (driver or
+                        // executor) is the recovery path.
+                        ++transfersAbandoned;
+                        _injector->noteDmaAbandoned();
+                        if (auto *tr = obs::TraceSession::activeFor(
+                                obs::CatChaos)) {
+                            tr->instant(obs::CatChaos,
+                                        "pmc" + std::to_string(_self),
+                                        "dma_abandoned", _engine.now(),
+                                        obs::TraceArgs()
+                                            .add("page", page)
+                                            .add("attempts", attempt));
+                        }
+                        releaseSlot();
+                        return;
+                    }
+                    const Tick backoff = cc.dmaRetryBackoff
+                                         << (attempt - 1);
+                    _injector->noteRetry();
+                    _injector->noteRecoveryCycles(backoff);
+                    if (auto *tr = obs::TraceSession::activeFor(
+                            obs::CatChaos)) {
+                        tr->instant(obs::CatChaos,
+                                    "pmc" + std::to_string(_self),
+                                    "dma_retry", _engine.now(),
+                                    obs::TraceArgs()
+                                        .add("page", page)
+                                        .add("attempt", attempt)
+                                        .add("backoff", backoff));
+                    }
+                    _engine.schedule(
+                        backoff,
+                        [this, page, dst, fid, attempt, begin,
+                         done = std::move(done)]() mutable {
+                            runAttempt(page, dst, std::move(done), fid,
+                                       attempt + 1, begin);
+                        });
+                    return;
+                }
+
+                const Tick write_done = _drams[dst]->access(
+                    _engine.now(), base, std::uint32_t(_pageBytes),
+                    true);
+                _engine.scheduleAt(
+                    write_done,
+                    [this, page, dst, fid, begin,
+                     done = std::move(done)]() mutable {
+                        const Tick end = _engine.now();
+                        if (auto *m = obs::Metrics::active()) {
+                            auto &hist =
+                                _self == cpuDeviceId
+                                    ? m->latency.cpuMigrationLatency
+                                    : m->latency
+                                          .interGpuMigrationLatency;
+                            hist.sample(double(end - begin));
+                        }
+                        if (auto *tr = obs::TraceSession::activeFor(
+                                obs::CatMigration)) {
+                            tr->complete(obs::CatMigration,
+                                         "pmc" + std::to_string(_self),
+                                         "migrate_page", begin, end,
+                                         obs::TraceArgs()
+                                             .add("page", page)
+                                             .add("dst", dst));
+                        }
+                        obs::FaultSpans::markActive(
+                            fid, obs::Stage::Transfer, end);
+                        releaseSlot();
+                        done();
+                    });
+            });
     });
 }
 

@@ -17,6 +17,10 @@
 #include "src/sim/engine.hh"
 #include "src/sim/types.hh"
 
+namespace griffin::sys {
+class FaultInjector;
+} // namespace griffin::sys
+
 namespace griffin::gpu {
 
 /**
@@ -60,10 +64,24 @@ class Pmc
         return _inflight + unsigned(_pending.size());
     }
 
+    /**
+     * Attach a fault injector (nullptr detaches). When set, each DMA
+     * attempt may fail mid-stream; failures are retried with
+     * exponential backoff up to the configured attempt budget, then
+     * the transfer is abandoned (its completion never fires — the
+     * arming side's migration timeout is the recovery).
+     */
+    void setFaultInjector(sys::FaultInjector *injector)
+    {
+        _injector = injector;
+    }
+
     /** @name Statistics @{ */
     std::uint64_t pagesTransferred = 0;
     std::uint64_t bytesTransferred = 0;
     std::uint64_t transfersDeferred = 0; ///< waited on a DMA slot
+    std::uint64_t transfersFailed = 0;   ///< injected DMA failures
+    std::uint64_t transfersAbandoned = 0; ///< retry budget exhausted
     /** @} */
 
   private:
@@ -84,9 +102,13 @@ class Pmc
     unsigned _maxConcurrent;
     unsigned _inflight = 0;
     std::deque<Pending> _pending;
+    sys::FaultInjector *_injector = nullptr;
 
     void startTransfer(PageId page, DeviceId dst, sim::EventFn done,
                        FaultId fid);
+    void runAttempt(PageId page, DeviceId dst, sim::EventFn done,
+                    FaultId fid, unsigned attempt, Tick begin);
+    void releaseSlot();
 };
 
 } // namespace griffin::gpu

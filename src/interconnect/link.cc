@@ -11,16 +11,28 @@ Link::Link(const LinkConfig &config) : _config(config)
     assert(config.bytesPerCycle > 0.0);
 }
 
+void
+Link::degrade(Tick until, double factor)
+{
+    assert(factor > 0.0 && factor <= 1.0);
+    _degradeUntil = std::max(_degradeUntil, until);
+    _degradeFactor = factor;
+}
+
 Tick
 Link::send(Tick now, unsigned dir, std::uint64_t bytes)
 {
     assert(dir < 2);
     assert(bytes > 0);
 
-    const Tick service =
-        std::max<Tick>(1, Tick(std::ceil(double(bytes) /
-                                         _config.bytesPerCycle)));
     const Tick start = std::max(now, _nextFree[dir]);
+    double bpc = _config.bytesPerCycle;
+    if (start < _degradeUntil) {
+        bpc *= _degradeFactor;
+        ++degradedMessages;
+    }
+    const Tick service =
+        std::max<Tick>(1, Tick(std::ceil(double(bytes) / bpc)));
     _nextFree[dir] = start + service;
 
     ++messages[dir];

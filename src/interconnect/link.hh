@@ -51,15 +51,29 @@ class Link
     /** Earliest time a new message could start in @p dir. */
     Tick nextFree(unsigned dir) const { return _nextFree[dir]; }
 
+    /**
+     * Open (or extend) a bandwidth-degradation window: messages that
+     * start before @p until serialize at @p factor of the configured
+     * bandwidth. Models a fabric fault (link retrain / lane drop).
+     */
+    void degrade(Tick until, double factor);
+
+    /** True when a message starting at @p now would be degraded. */
+    bool degradedAt(Tick now) const { return now < _degradeUntil; }
+
     /** @name Statistics @{ */
     std::uint64_t messages[2] = {0, 0};
     std::uint64_t bytesSent[2] = {0, 0};
     std::uint64_t busyCycles[2] = {0, 0};
+    /** Messages serialized inside a degradation window. */
+    std::uint64_t degradedMessages = 0;
     /** @} */
 
   private:
     LinkConfig _config;
     Tick _nextFree[2] = {0, 0};
+    Tick _degradeUntil = 0;
+    double _degradeFactor = 1.0;
 };
 
 } // namespace griffin::ic

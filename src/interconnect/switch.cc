@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/obs/trace.hh"
+#include "src/sys/chaos.hh"
 
 namespace griffin::ic {
 
@@ -30,9 +31,51 @@ Network::send(DeviceId src, DeviceId dst, std::uint64_t bytes,
     assert(src != dst && "loopback traffic never crosses the fabric");
 
     const Tick now = _engine.now();
+
+    // Fabric fault injection: a degradation window throttles the
+    // source link for a while; a NACK forces bounded retransmission,
+    // each attempt re-occupying the upstream wire.
+    unsigned nacks = 0;
+    if (_injector) {
+        if (_injector->degradeLink()) {
+            const auto &cc = _injector->config();
+            _links[src].degrade(now + cc.linkDegradeDuration,
+                                cc.linkDegradeFactor);
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatChaos)) {
+                tr->instant(obs::CatChaos,
+                            "link" + std::to_string(src), "degrade",
+                            now,
+                            obs::TraceArgs()
+                                .add("until", now + cc.linkDegradeDuration));
+            }
+        }
+        while (nacks < _injector->config().linkMaxRetries &&
+               _injector->dropMessage()) {
+            ++nacks;
+        }
+    }
+
     const Tick up_start = std::max(now, _links[src].nextFree(dirUp));
     // Serialize on the source's upstream wire...
-    const Tick at_switch = _links[src].send(now, dirUp, bytes);
+    Tick at_switch = _links[src].send(now, dirUp, bytes);
+    if (nacks > 0) {
+        ++messagesNacked;
+        const auto &cc = _injector->config();
+        const Tick first_at = at_switch;
+        for (unsigned i = 0; i < nacks; ++i) {
+            _injector->noteRetry();
+            at_switch = _links[src].send(at_switch + cc.linkRetryDelay,
+                                         dirUp, bytes);
+        }
+        _injector->noteRecoveryCycles(at_switch - first_at);
+        if (auto *tr = obs::TraceSession::activeFor(obs::CatChaos)) {
+            tr->instant(obs::CatChaos, "link" + std::to_string(src),
+                        "nack", now,
+                        obs::TraceArgs()
+                            .add("retries", nacks)
+                            .add("delay", at_switch - first_at));
+        }
+    }
     const Tick down_start = std::max(at_switch,
                                      _links[dst].nextFree(dirDown));
     // ...then on the destination's downstream wire. The downstream

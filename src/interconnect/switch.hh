@@ -21,6 +21,10 @@
 #include "src/sim/engine.hh"
 #include "src/sim/types.hh"
 
+namespace griffin::sys {
+class FaultInjector;
+} // namespace griffin::sys
+
 namespace griffin::ic {
 
 /** Common message sizes on the fabric, in bytes. */
@@ -68,12 +72,26 @@ class Network
 
     unsigned numDevices() const { return unsigned(_links.size()); }
 
+    /**
+     * Attach a fault injector (nullptr detaches). When set, each
+     * message may be NACKed (bounded retransmits re-occupy the
+     * upstream wire after a retry delay) or open a bandwidth-
+     * degradation window on the source link.
+     */
+    void setFaultInjector(sys::FaultInjector *injector)
+    {
+        _injector = injector;
+    }
+
     /** Total messages delivered. */
     std::uint64_t messagesDelivered = 0;
+    /** Messages that suffered at least one injected NACK. */
+    std::uint64_t messagesNacked = 0;
 
   private:
     sim::Engine &_engine;
     std::vector<Link> _links;
+    sys::FaultInjector *_injector = nullptr;
 };
 
 } // namespace griffin::ic

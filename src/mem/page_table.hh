@@ -48,6 +48,14 @@ struct PageInfo
      * initial CPU->GPU migration; pinned pages never move again.
      */
     bool pinned = false;
+
+    /**
+     * Set when a migration of this page was aborted by a recovery
+     * timeout (chaos layer): the page stays CPU-resident and is served
+     * via DCA remote access for the rest of the run, so a re-fault
+     * loop cannot form.
+     */
+    bool dcaFallback = false;
 };
 
 /**
@@ -113,6 +121,12 @@ class PageTable
 
     /** Total migrations recorded via setLocation(). */
     std::uint64_t migrations() const { return _migrations; }
+
+    /** Every page ever referenced (invariant auditor). */
+    const std::unordered_map<PageId, PageInfo> &pages() const
+    {
+        return _pages;
+    }
 
   private:
     unsigned _pageShift;

@@ -25,6 +25,7 @@ categoryName(Category cat)
       case CatPolicy: return "policy";
       case CatNet: return "net";
       case CatDca: return "dca";
+      case CatChaos: return "chaos";
     }
     return "other";
 }

@@ -52,14 +52,15 @@ enum Category : std::uint32_t
     CatPolicy = 1u << 4,    ///< DPC periods, classification, CPMS
     CatNet = 1u << 5,       ///< per-message link busy spans (hot!)
     CatDca = 1u << 6,       ///< per-line remote DCA service (hot!)
+    CatChaos = 1u << 7,     ///< injected faults and recovery actions
 };
 
 /** Everything except the two per-message firehose categories. */
 inline constexpr std::uint32_t defaultCategories =
-    CatFault | CatMigration | CatShootdown | CatDrain | CatPolicy;
+    CatFault | CatMigration | CatShootdown | CatDrain | CatPolicy | CatChaos;
 
 /** Every category, including the hot ones. */
-inline constexpr std::uint32_t allCategories = 0x7f;
+inline constexpr std::uint32_t allCategories = 0xff;
 
 /** The trace "cat" string for one category bit. */
 const char *categoryName(Category cat);

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
 #include <string>
+
+#include "src/sim/watchdog.hh"
 
 namespace griffin::sim {
 
@@ -22,10 +23,12 @@ Engine::run()
         if (!_queue.runOne())
             break;
         if (_queue.now() > _maxTicks) {
-            throw std::runtime_error(
-                "simulation watchdog tripped at tick " +
-                std::to_string(_queue.now()) +
-                ": model is likely livelocked");
+            std::string msg = "simulation watchdog tripped at tick " +
+                              std::to_string(_queue.now()) +
+                              ": model is likely livelocked";
+            if (_watchdog)
+                msg += "\nprobe snapshot:\n" + _watchdog->snapshot();
+            throw WatchdogError(msg);
         }
         if (_stopRequested)
             break;

@@ -18,13 +18,16 @@
 
 namespace griffin::sim {
 
+class Watchdog;
+
 /**
  * Drives a simulation to completion.
  *
  * Components keep a reference to the engine and use schedule() for all
  * timing. The engine also provides a watchdog: simulations that exceed
  * maxTicks (a sign of livelock in a model) abort with a diagnostic
- * rather than spinning forever.
+ * rather than spinning forever. When a sim::Watchdog is attached, its
+ * probe snapshot is folded into that diagnostic.
  */
 class Engine
 {
@@ -44,6 +47,16 @@ class Engine
     /** Schedule @p fn at absolute time @p when. */
     void scheduleAt(Tick when, EventFn fn) { _queue.scheduleAt(when, std::move(fn)); }
 
+    /** Arm a cancellable timeout @p delay cycles from now. */
+    TimerId
+    scheduleTimeout(Tick delay, EventFn fn)
+    {
+        return _queue.scheduleTimeout(delay, std::move(fn));
+    }
+
+    /** Cancel a timeout armed with scheduleTimeout(). */
+    bool cancelTimeout(TimerId id) { return _queue.cancelTimeout(id); }
+
     /**
      * Run until the event queue drains, a component calls
      * requestStop(), or the watchdog trips.
@@ -53,9 +66,21 @@ class Engine
      * stopped engine can schedule more work and run() again.
      *
      * @return the simulated end time.
-     * @throws std::runtime_error if the watchdog limit is exceeded.
+     * @throws WatchdogError (a std::runtime_error) if the watchdog
+     *         limit is exceeded.
      */
     Tick run();
+
+    /**
+     * Attach a liveness watchdog (nullptr detaches). Its probe
+     * snapshot is appended to the maxTicks-overrun diagnostic; the
+     * system owning the engine is expected to call
+     * watchdog->checkQuiesced() after run() returns.
+     */
+    void setWatchdog(Watchdog *watchdog) { _watchdog = watchdog; }
+
+    /** The attached watchdog, or nullptr. */
+    Watchdog *watchdog() const { return _watchdog; }
 
     /** Run all events up to and including @p limit. */
     Tick runUntil(Tick limit) { return _queue.runUntil(limit); }
@@ -112,6 +137,7 @@ class Engine
 
     EventQueue _queue;
     Tick _maxTicks;
+    Watchdog *_watchdog = nullptr;
     bool _stopRequested = false;
     std::vector<Hook> _hooks;
     std::uint64_t _nextHookId = 1;

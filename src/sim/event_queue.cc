@@ -20,9 +20,39 @@ EventQueue::scheduleAt(Tick when, EventFn fn)
     _heap.push(Entry{when, _nextSeq++, std::move(fn)});
 }
 
+TimerId
+EventQueue::scheduleTimeout(Tick delay, EventFn fn)
+{
+    const TimerId id = _nextSeq;
+    _pendingTimers.insert(id);
+    scheduleAt(_now + delay, std::move(fn));
+    return id;
+}
+
+bool
+EventQueue::cancelTimeout(TimerId id)
+{
+    if (_pendingTimers.erase(id) == 0)
+        return false;
+    // The heap entry stays until it reaches the top; runOne() and
+    // pruneCancelled() skip it without advancing time.
+    _cancelled.insert(id);
+    return true;
+}
+
+void
+EventQueue::pruneCancelled()
+{
+    while (!_heap.empty() && _cancelled.count(_heap.top().seq)) {
+        _cancelled.erase(_heap.top().seq);
+        _heap.pop();
+    }
+}
+
 bool
 EventQueue::runOne()
 {
+    pruneCancelled();
     if (_heap.empty())
         return false;
 
@@ -30,6 +60,7 @@ EventQueue::runOne()
     // further events (which mutates the heap) while it runs.
     Entry entry = std::move(const_cast<Entry &>(_heap.top()));
     _heap.pop();
+    _pendingTimers.erase(entry.seq);
 
     assert(entry.when >= _now);
     _now = entry.when;
@@ -49,8 +80,14 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!_heap.empty() && _heap.top().when <= limit)
+    for (;;) {
+        // Prune before testing the top: a cancelled entry at <= limit
+        // must not let runOne() execute a real event beyond limit.
+        pruneCancelled();
+        if (_heap.empty() || _heap.top().when > limit)
+            break;
         runOne();
+    }
     if (_now < limit)
         _now = limit;
     return _now;

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "src/sim/types.hh"
@@ -21,6 +22,12 @@ namespace griffin::sim {
 
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
+
+/** Handle of a cancellable timeout; 0 is never a valid id. */
+using TimerId = std::uint64_t;
+
+/** The invalid TimerId. */
+inline constexpr TimerId invalidTimerId = 0;
 
 /**
  * A time-ordered queue of callbacks.
@@ -55,18 +62,43 @@ class EventQueue
      */
     void scheduleAt(Tick when, EventFn fn);
 
-    /** True when no events remain. */
-    bool empty() const { return _heap.empty(); }
+    /**
+     * Schedule @p fn like schedule(), but return a handle that
+     * cancelTimeout() accepts. Timeouts exist for recovery timers
+     * (migration timeouts, ACK re-issue deadlines) that are armed on
+     * the common path and cancelled on the common path: a cancelled
+     * timeout neither fires nor extends the simulated end time.
+     */
+    TimerId scheduleTimeout(Tick delay, EventFn fn);
 
-    /** Time of the earliest pending event; maxTick when empty. */
+    /**
+     * Cancel a pending timeout. The callback is dropped and the entry
+     * no longer counts as a pending event (so a run can drain past
+     * it).
+     * @retval true the timeout was pending and is now cancelled.
+     * @retval false unknown id, already fired, or already cancelled.
+     */
+    bool cancelTimeout(TimerId id);
+
+    /** Timeouts armed and not yet fired or cancelled. */
+    std::size_t pendingTimeouts() const { return _pendingTimers.size(); }
+
+    /** True when no events remain (cancelled timeouts excluded). */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Time of the earliest pending event; maxTick when empty. May
+     * conservatively report a cancelled timeout's deadline until that
+     * entry is lazily pruned by runOne().
+     */
     Tick
     nextTime() const
     {
         return _heap.empty() ? maxTick : _heap.top().when;
     }
 
-    /** Number of pending events. */
-    std::size_t size() const { return _heap.size(); }
+    /** Number of pending events (cancelled timeouts excluded). */
+    std::size_t size() const { return _heap.size() - _cancelled.size(); }
 
     /**
      * Execute the single earliest event.
@@ -109,8 +141,16 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     Tick _now = 0;
-    std::uint64_t _nextSeq = 0;
+    /** Starts at 1 so a seq can double as a nonzero TimerId. */
+    std::uint64_t _nextSeq = 1;
     std::uint64_t _executed = 0;
+    /** Seqs of armed, not-yet-fired timeouts. */
+    std::unordered_set<std::uint64_t> _pendingTimers;
+    /** Cancelled entries still in the heap, pruned lazily. */
+    std::unordered_set<std::uint64_t> _cancelled;
+
+    /** Drop cancelled entries off the top of the heap. */
+    void pruneCancelled();
 };
 
 } // namespace griffin::sim

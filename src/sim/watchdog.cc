@@ -1,0 +1,47 @@
+#include "src/sim/watchdog.hh"
+
+#include <sstream>
+
+namespace griffin::sim {
+
+bool
+Watchdog::hasOutstandingWork() const
+{
+    for (const Entry &e : _probes) {
+        if (e.probe() != 0)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Watchdog::snapshot() const
+{
+    std::ostringstream os;
+    for (const Entry &e : _probes) {
+        os << "  " << e.component << ": " << e.what << " = " << e.probe()
+           << "\n";
+    }
+    return os.str();
+}
+
+void
+Watchdog::checkQuiesced(Tick now) const
+{
+    std::ostringstream bad;
+    for (const Entry &e : _probes) {
+        const std::uint64_t v = e.probe();
+        if (v != 0)
+            bad << "  " << e.component << ": " << e.what << " = " << v
+                << "\n";
+    }
+    const std::string stuck = bad.str();
+    if (stuck.empty())
+        return;
+    throw WatchdogError(
+        "simulation quiesced at tick " + std::to_string(now) +
+        " with outstanding work (lost wakeup):\n" + stuck +
+        "full probe snapshot:\n" + snapshot());
+}
+
+} // namespace griffin::sim

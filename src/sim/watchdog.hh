@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hang detection for whole-system simulations.
+ *
+ * Two failure shapes a discrete-event model can fall into:
+ *
+ *  - a LOST WAKEUP: the event queue drains while a component still
+ *    holds outstanding work (a queued fault nobody will service, a
+ *    parked translation nobody will replay). The simulation "ends"
+ *    silently with wrong results;
+ *  - a LIVELOCK / runaway: events keep firing past any plausible end
+ *    time (Engine's maxTicks limit).
+ *
+ * The Watchdog holds a set of named numeric probes ("driver:
+ * pendingFaults", "iommu: parkedRequests", ...). After the queue
+ * drains, checkQuiesced() throws a WatchdogError if any probe is
+ * nonzero; on a maxTicks overrun, the Engine folds snapshot() into
+ * its exception. Either way the run fails cleanly with a diagnostic
+ * snapshot instead of hanging or lying.
+ */
+
+#ifndef GRIFFIN_SIM_WATCHDOG_HH
+#define GRIFFIN_SIM_WATCHDOG_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace griffin::sim {
+
+/**
+ * Thrown when a simulation hangs (maxTicks overrun) or quiesces with
+ * outstanding work. Derives from std::runtime_error so existing
+ * watchdog handling keeps working; the message carries the probe
+ * snapshot.
+ */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A registry of liveness probes. Components (or the system that owns
+ * them) register one probe per unit of outstanding work; all probes
+ * reading 0 defines "quiesced".
+ */
+class Watchdog
+{
+  public:
+    /** Current amount of outstanding work behind one probe. */
+    using Probe = std::function<std::uint64_t()>;
+
+    /** Register a probe under "<component>: <what>". */
+    void
+    addProbe(std::string component, std::string what, Probe probe)
+    {
+        _probes.push_back(Entry{std::move(component), std::move(what),
+                                std::move(probe)});
+    }
+
+    std::size_t probeCount() const { return _probes.size(); }
+
+    /** True when at least one probe reads nonzero. */
+    bool hasOutstandingWork() const;
+
+    /**
+     * Every probe's current reading, one "  component: what = N" line
+     * per probe (the diagnostic dump attached to failures).
+     */
+    std::string snapshot() const;
+
+    /**
+     * The event queue drained at @p now: verify nothing was left
+     * behind. @throws WatchdogError naming every nonzero probe, with
+     * the full snapshot attached.
+     */
+    void checkQuiesced(Tick now) const;
+
+  private:
+    struct Entry
+    {
+        std::string component;
+        std::string what;
+        Probe probe;
+    };
+
+    std::vector<Entry> _probes;
+};
+
+} // namespace griffin::sim
+
+#endif // GRIFFIN_SIM_WATCHDOG_HH

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Deterministic fault injection for the whole system.
+ *
+ * A ChaosConfig names the fault classes to inject (as per-decision
+ * probabilities) and the recovery parameters the components use to
+ * survive them; a FaultInjector turns the config into a stream of
+ * injection decisions. Determinism rules:
+ *
+ *  - the injector owns its own Rng substreams, split per fault class
+ *    from ChaosConfig::seed — enabling injection (or changing one
+ *    class's rate) never perturbs workload traces or any other
+ *    component's random stream;
+ *  - each simulation owns one injector (built by MultiGpuSystem from
+ *    SystemConfig::chaos), so parallel sweeps stay byte-identical for
+ *    any --jobs count;
+ *  - decisions are consumed in event order inside one single-threaded
+ *    simulation, so the same seed yields the same fault schedule.
+ *
+ * Injection points and the recovery machinery they exercise:
+ *
+ *  - interconnect: per-message NACK/drop with bounded retransmission
+ *    (the wire is re-occupied per attempt), and temporary bandwidth-
+ *    degradation windows on the sending link;
+ *  - gpu/pmc: DMA transfer failures, retried with exponential backoff
+ *    and bounded attempts; exhausted transfers are abandoned and the
+ *    arming side's migration timeout takes over;
+ *  - driver: a per-migration timeout that aborts the migration,
+ *    unpins the page and degrades it to DCA remote access for the
+ *    rest of the run (PageInfo::dcaFallback);
+ *  - core/acud: lost TLB-shootdown ACKs, re-issued after a timeout;
+ *    plus a per-batch timeout that aborts abandoned inter-GPU
+ *    transfers and replays the parked translations;
+ *  - xlat/iommu: page-table-walker stalls (a fixed extra walk
+ *    latency).
+ *
+ * All injections and recoveries are counted here (run reports emit
+ * them under "chaos") and traced under the obs::CatChaos category.
+ */
+
+#ifndef GRIFFIN_SYS_CHAOS_HH
+#define GRIFFIN_SYS_CHAOS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/sim/rng.hh"
+#include "src/sim/types.hh"
+
+namespace griffin::sys {
+
+/**
+ * Fault rates and recovery tunables. All rates default to 0 (off);
+ * a default ChaosConfig therefore leaves every simulation untouched.
+ */
+struct ChaosConfig
+{
+    /** @name Injection rates (probability per decision point) @{ */
+
+    /** Per fabric message: NACKed at the switch, retransmitted. */
+    double linkFaultRate = 0.0;
+    /** Per fabric message: opens a degradation window on its link. */
+    double linkDegradeRate = 0.0;
+    /** Per DMA attempt: the page transfer fails mid-stream. */
+    double dmaFaultRate = 0.0;
+    /** Per shootdown episode: the completion ACK is lost. */
+    double shootdownAckLossRate = 0.0;
+    /** Per page-table walk: the walker stalls. */
+    double walkerStallRate = 0.0;
+
+    /** @} */
+    /** @name Recovery tunables @{ */
+
+    /** Sender-side delay before retransmitting a NACKed message. */
+    Tick linkRetryDelay = 500;
+    /** Consecutive NACKs of one message before it goes through. */
+    unsigned linkMaxRetries = 8;
+    /** Length of one bandwidth-degradation window. */
+    Tick linkDegradeDuration = 20000;
+    /** Bandwidth multiplier while a window is open (0 < f <= 1). */
+    double linkDegradeFactor = 0.25;
+    /** DMA retry attempts after the first failure; then abandon. */
+    unsigned dmaMaxRetries = 4;
+    /** First DMA retry backoff; doubles per subsequent attempt. */
+    Tick dmaRetryBackoff = 1000;
+    /**
+     * Per-migration timeout armed by the driver (CPU->GPU) and the
+     * executor (inter-GPU). On expiry the migration is aborted: the
+     * page is unpinned, unblocked, and — for CPU-resident pages —
+     * degraded to DCA remote access for the rest of the run.
+     * 0 disables the timeout (abandoned transfers then surface as a
+     * watchdog diagnostic instead of a recovery).
+     */
+    Tick migrationTimeout = 2000000;
+    /** ACUD waits this long for a shootdown ACK before re-issuing. */
+    Tick shootdownAckTimeout = 5000;
+    /** Bound on shootdown re-issues per episode. */
+    unsigned shootdownMaxReissues = 8;
+    /** Extra walk latency when a walker stall is injected. */
+    Tick walkerStallPenalty = 2000;
+    /**
+     * Period of the invariant auditor while chaos is enabled
+     * (0 = audit only once, at the end of the run).
+     */
+    Tick auditPeriod = 50000;
+
+    /** @} */
+
+    /** Seed of the injector's private Rng substreams. */
+    std::uint64_t seed = 1;
+
+    /** True when any fault class can fire. */
+    bool
+    enabled() const
+    {
+        return linkFaultRate > 0.0 || linkDegradeRate > 0.0 ||
+               dmaFaultRate > 0.0 || shootdownAckLossRate > 0.0 ||
+               walkerStallRate > 0.0;
+    }
+
+    /**
+     * Parse a --chaos=SPEC string. Two forms:
+     *
+     *  - a bare probability ("0.01"): every injection rate is set to
+     *    that value;
+     *  - a comma-separated key=value list. Rate keys: link, degrade,
+     *    dma, ack, walker. Tunable keys: retrydelay, maxnacks,
+     *    window, factor, retries, backoff, timeout, ackto, reissues,
+     *    stall, audit.
+     *
+     * @return nullopt on a malformed spec (unknown key, bad number,
+     *         rate outside [0, 1]).
+     */
+    static std::optional<ChaosConfig> parse(const std::string &spec);
+};
+
+/**
+ * The per-simulation fault source. Components hold a nullable pointer
+ * to it; a null injector (the default everywhere) costs one branch
+ * per decision point and consumes no randomness.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const ChaosConfig &config);
+
+    const ChaosConfig &config() const { return _config; }
+
+    /** @name Injection decisions (one Rng substream per class) @{ */
+
+    /** Should this fabric message be NACKed (once)? */
+    bool dropMessage();
+    /** Should this message open a degradation window on its link? */
+    bool degradeLink();
+    /** Should this DMA attempt fail? */
+    bool failDmaTransfer();
+    /** Should this shootdown's ACK be lost (once)? */
+    bool loseShootdownAck();
+    /** Should this page-table walk stall? */
+    bool stallWalker();
+
+    /** @} */
+    /** @name Recovery accounting (called by the recovering side) @{ */
+
+    /** One recovery re-attempt (retransmit, DMA retry, re-issue). */
+    void noteRetry() { ++counters.retries; }
+    /** Cycles a recovery added to the affected operation. */
+    void noteRecoveryCycles(Tick cycles)
+    {
+        counters.recoveryCycles += std::uint64_t(cycles);
+    }
+    /** A migration degraded to DCA remote access. */
+    void noteFallback() { ++counters.fallbacks; }
+    /** A DMA transfer abandoned after exhausting its retries. */
+    void noteDmaAbandoned() { ++counters.dmaAbandoned; }
+    /** A migration aborted by its timeout. */
+    void noteMigrationTimeout() { ++counters.migrationTimeouts; }
+
+    /** @} */
+
+    /**
+     * Everything the run report needs to account for every injected
+     * fault: injected = sum of the per-class injection counts;
+     * retries/fallbacks/recoveryCycles describe how the system
+     * absorbed them.
+     */
+    struct Counters
+    {
+        std::uint64_t injected = 0; ///< total faults injected
+        std::uint64_t retries = 0;  ///< recovery re-attempts
+        std::uint64_t fallbacks = 0; ///< migrations degraded to DCA
+        std::uint64_t recoveryCycles = 0; ///< added latency, summed
+
+        /** @name Per-class injection counts (sum == injected) @{ */
+        std::uint64_t linkFaults = 0;
+        std::uint64_t linkDegrades = 0;
+        std::uint64_t dmaFaults = 0;
+        std::uint64_t acksLost = 0;
+        std::uint64_t walkerStalls = 0;
+        /** @} */
+
+        /** @name Recovery outcomes @{ */
+        std::uint64_t dmaAbandoned = 0; ///< retry budget exhausted
+        std::uint64_t migrationTimeouts = 0; ///< aborted migrations
+        /** @} */
+    } counters;
+
+  private:
+    ChaosConfig _config;
+    sim::Rng _linkRng;
+    sim::Rng _degradeRng;
+    sim::Rng _dmaRng;
+    sim::Rng _ackRng;
+    sim::Rng _walkerRng;
+
+    bool roll(sim::Rng &rng, double rate, std::uint64_t &classCount);
+};
+
+} // namespace griffin::sys
+
+#endif // GRIFFIN_SYS_CHAOS_HH

@@ -134,6 +134,11 @@ resolveMetricPath(const std::string &metric)
         {"fault_p50", "histograms.faultLatency.p50"},
         {"fault_p95", "histograms.faultLatency.p95"},
         {"fault_p99", "histograms.faultLatency.p99"},
+        {"injected", "chaos.injected"},
+        {"retries", "chaos.retries"},
+        {"fallbacks", "chaos.fallbacks"},
+        {"recovery_cycles", "chaos.recovery_cycles"},
+        {"audit_violations", "chaos.audit_violations"},
     };
     if (auto it = aliases.find(metric); it != aliases.end())
         return it->second;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -27,11 +29,19 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
 {
     assert(config.numGpus >= 1);
 
+    // The fault injector comes first so every component can be wired
+    // to it as it is built. A disabled chaos config builds no
+    // injector and the whole layer stays inert.
+    if (config.chaos.enabled())
+        _injector = std::make_unique<FaultInjector>(config.chaos);
+
     _network = std::make_unique<ic::Network>(_engine,
                                              config.numDevices(),
                                              config.link);
+    _network->setFaultInjector(_injector.get());
     _iommu = std::make_unique<xlat::Iommu>(_engine, *_network,
                                            _pageTable, config.iommu);
+    _iommu->setFaultInjector(_injector.get());
     _cpuRdma = std::make_unique<gpu::Rdma>(_engine, *_network,
                                            cpuDeviceId, _cpuL2, _cpuDram,
                                            config.gpu.lineBytes);
@@ -54,12 +64,15 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
         _pmcs.push_back(std::make_unique<gpu::Pmc>(
             _engine, *_network, DeviceId(dev), drams, page_bytes,
             config.pmcMaxConcurrent));
+        _pmcs.back()->setFaultInjector(_injector.get());
     }
 
     // Driver: fault batching per the active policy (CPMS CPU->GPU
     // half uses N_PTW; the baseline services faults one by one).
     driver::DriverConfig dcfg;
     dcfg.cpuFlushPenalty = config.cpuFlushPenalty;
+    if (_injector)
+        dcfg.migrationTimeout = config.chaos.migrationTimeout;
     if (config.policy == PolicyKind::Griffin) {
         dcfg.faultBatchSize = config.griffin.nPtw;
         dcfg.faultBatchWindow = config.griffin.faultBatchWindow;
@@ -71,6 +84,7 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
     _driver = std::make_unique<driver::Driver>(_engine, _pageTable,
                                                *_iommu,
                                                *_pmcs[cpuDeviceId], dcfg);
+    _driver->setFaultInjector(_injector.get());
     _iommu->setFaultHandler(_driver.get());
 
     // The policy.
@@ -86,6 +100,7 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
             _engine, *_network, _pageTable, *_iommu, gpu_ptrs, pmc_ptrs,
             config.griffin);
         _griffinPolicy = policy.get();
+        _griffinPolicy->executor().setFaultInjector(_injector.get());
         _policy = std::move(policy);
     } else {
         _policy = std::make_unique<core::FirstTouchPolicy>();
@@ -94,6 +109,37 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
 
     _dispatcher = std::make_unique<gpu::Dispatcher>(
         _engine, gpu_ptrs, config.dispatchLatency);
+
+    // The liveness watchdog: one probe per unit of outstanding work.
+    // If the event queue drains while any probe is nonzero, the run
+    // lost a wakeup and fails with a diagnostic instead of lying.
+    _watchdog = std::make_unique<sim::Watchdog>();
+    _watchdog->addProbe("driver", "pendingFaults",
+                        [this] { return _driver->pendingFaults(); });
+    _watchdog->addProbe("driver", "busy",
+                        [this] { return _driver->busy() ? 1 : 0; });
+    _watchdog->addProbe("iommu", "activeWalks",
+                        [this] { return _iommu->activeWalks(); });
+    _watchdog->addProbe("iommu", "parkedRequests",
+                        [this] { return _iommu->parkedCount(); });
+    for (unsigned dev = 0; dev < config.numDevices(); ++dev) {
+        _watchdog->addProbe("pmc" + std::to_string(dev), "queueDepth",
+                            [this, dev] { return _pmcs[dev]->queueDepth(); });
+    }
+    for (unsigned g = 0; g < config.numGpus; ++g) {
+        const std::string name = "gpu" + std::to_string(g + 1);
+        _watchdog->addProbe(name, "busyCus",
+                            [this, g] { return _gpus[g]->busyCus(); });
+        _watchdog->addProbe(name, "queuedWorkgroups", [this, g] {
+            return _gpus[g]->queuedWorkgroups();
+        });
+        _watchdog->addProbe(name, "drainActive", [this, g] {
+            return _gpus[g]->drainActive() ? 1 : 0;
+        });
+    }
+    _watchdog->addProbe("spans", "openFaults",
+                        [this] { return _spans.openFaults(); });
+    _engine.setWatchdog(_watchdog.get());
 
     // Timestamp log lines with this system's clock for its lifetime.
     _prevLogClock = sim::Log::clock();
@@ -210,7 +256,16 @@ MultiGpuSystem::registerProbes(obs::Sampler &sampler)
 RunResult
 MultiGpuSystem::run(wl::Workload &workload)
 {
-    assert(!_ran && "a system instance runs one workload");
+    if (_ran) {
+        // A second run would silently reuse page tables, TLBs and
+        // stats from the first — diagnose and fail instead of
+        // producing corrupt results.
+        GLOG(Error, "MultiGpuSystem::run() called twice");
+        std::fprintf(stderr,
+                     "griffin: a MultiGpuSystem instance runs exactly "
+                     "one workload; build a new system for each run\n");
+        std::exit(2);
+    }
     _ran = true;
 
     GLOG(Info, "run: " << workload.name() << " under "
@@ -235,9 +290,16 @@ MultiGpuSystem::run(wl::Workload &workload)
 
     _policy->onSystemStart();
 
-    // Launch the kernels back to back.
+    // Launch the kernels back to back. The continuation captures its
+    // own shared_ptr (a reference cycle), so the guard breaks the
+    // cycle once the run is over — watchdog throw included.
     const unsigned num_kernels = workload.numKernels();
     auto launch_next = std::make_shared<std::function<void(unsigned)>>();
+    struct LaunchGuard
+    {
+        std::function<void(unsigned)> &fn;
+        ~LaunchGuard() { fn = nullptr; }
+    } launch_guard{*launch_next};
     *launch_next = [this, &workload, num_kernels,
                     launch_next](unsigned k) {
         if (k >= num_kernels) {
@@ -251,9 +313,111 @@ MultiGpuSystem::run(wl::Workload &workload)
     };
     _engine.schedule(0, [launch_next] { (*launch_next)(0); });
 
+    // While injecting faults, cross-check the system's invariants
+    // periodically so a recovery bug is caught near where it happened
+    // rather than at the end of the run.
+    std::uint64_t audit_hook = 0;
+    if (_injector && _config.chaos.auditPeriod > 0) {
+        audit_hook = _engine.addPeriodicHook(
+            _config.chaos.auditPeriod,
+            [this](Tick) { _auditViolations += auditInvariants(); });
+    }
+
     _engine.run();
 
+    if (audit_hook != 0)
+        _engine.removePeriodicHook(audit_hook);
+
+    // The queue drained: nothing may be left behind. (A requestStop()
+    // legitimately leaves work outstanding, so skip the check then.)
+    if (!_engine.stopRequested())
+        _watchdog->checkQuiesced(_engine.now());
+
+    // Final audit, chaos or not — a quiesced system must be
+    // consistent.
+    _auditViolations += auditInvariants();
+
     return collectResults();
+}
+
+std::uint64_t
+MultiGpuSystem::auditInvariants()
+{
+    std::uint64_t violations = 0;
+    const auto flag = [&violations](const std::string &what) {
+        ++violations;
+        GLOG(Error, "audit: " << what);
+    };
+
+    // GPU TLBs may only cache device-local translations, and a cached
+    // entry must agree with the page table once no migration of the
+    // page is in flight.
+    const auto check_gpu_tlb = [&](const xlat::Tlb &tlb,
+                                   const std::string &name,
+                                   DeviceId dev) {
+        tlb.forEachValid([&](PageId page, DeviceId loc) {
+            if (loc != dev) {
+                flag(name + " caches remote translation for page " +
+                     std::to_string(page));
+                return;
+            }
+            const mem::PageInfo &pi = _pageTable.info(page);
+            if (!pi.migrating && !pi.migrationPending &&
+                pi.location != loc) {
+                flag(name + " holds stale entry for page " +
+                     std::to_string(page) + " (cached " +
+                     std::to_string(loc) + ", actual " +
+                     std::to_string(pi.location) + ")");
+            }
+        });
+    };
+    for (unsigned g = 0; g < numGpus(); ++g) {
+        const DeviceId dev = DeviceId(g + 1);
+        const std::string name = "gpu" + std::to_string(dev);
+        check_gpu_tlb(_gpus[g]->l2Tlb(), name + ".l2Tlb", dev);
+        for (unsigned cu = 0; cu < _gpus[g]->numCus(); ++cu) {
+            check_gpu_tlb(_gpus[g]->l1Tlb(cu),
+                          name + ".l1Tlb" + std::to_string(cu), dev);
+        }
+    }
+
+    // The IOTLB must agree with the page table for stable pages.
+    // (CPU-resident entries are legal only under a DFTM lease, which
+    // also keeps them coherent: the driver purges on migration.)
+    _iommu->iotlb().forEachValid([&](PageId page, DeviceId loc) {
+        const mem::PageInfo &pi = _pageTable.info(page);
+        if (!pi.migrating && !pi.migrationPending && pi.location != loc) {
+            flag("iotlb holds stale entry for page " +
+                 std::to_string(page) + " (cached " +
+                 std::to_string(loc) + ", actual " +
+                 std::to_string(pi.location) + ")");
+        }
+    });
+
+    // Pin and fallback state must match residency.
+    for (const auto &[page, pi] : _pageTable.pages()) {
+        if (pi.pinned && pi.location == cpuDeviceId)
+            flag("pinned page " + std::to_string(page) +
+                 " is CPU-resident");
+        if (pi.dcaFallback && pi.location != cpuDeviceId)
+            flag("dca-fallback page " + std::to_string(page) +
+                 " migrated to device " + std::to_string(pi.location));
+        if (pi.dcaFallback && pi.pinned)
+            flag("dca-fallback page " + std::to_string(page) +
+                 " is pinned");
+    }
+
+    // Per-device residency counters must sum to the page population.
+    std::uint64_t resident = 0;
+    for (unsigned dev = 0; dev < _config.numDevices(); ++dev)
+        resident += _pageTable.residentPages(DeviceId(dev));
+    if (resident != _pageTable.totalPages()) {
+        flag("residency counters sum to " + std::to_string(resident) +
+             " but the table holds " +
+             std::to_string(_pageTable.totalPages()) + " pages");
+    }
+
+    return violations;
 }
 
 RunResult
@@ -290,6 +454,9 @@ MultiGpuSystem::collectResults()
     st.set("iommu.iotlbHits", double(_iommu->iotlbHits));
     st.set("iommu.faults", double(_iommu->faultsRaised));
     st.set("iommu.dcaRedirects", double(_iommu->dcaRedirects));
+    st.set("iommu.walksStalled", double(_iommu->walksStalled));
+    st.set("iommu.fallbackRedirects",
+           double(_iommu->fallbackRedirects));
     st.set("pageTable.migrations", double(_pageTable.migrations()));
     st.set("pageTable.totalPages", double(_pageTable.totalPages()));
     st.set("network.messages", double(_network->messagesDelivered));
@@ -359,6 +526,42 @@ MultiGpuSystem::collectResults()
     st.set("spans.open", double(result.faultSpansOpen));
     st.set("pmc0.transfersDeferred",
            double(_pmcs[cpuDeviceId]->transfersDeferred));
+
+    result.auditViolations = _auditViolations;
+    st.set("audit.violations", double(_auditViolations));
+
+    if (_injector) {
+        const FaultInjector::Counters &c = _injector->counters;
+        result.chaosInjected = c.injected;
+        result.chaosRetries = c.retries;
+        result.chaosFallbacks = c.fallbacks;
+        result.chaosRecoveryCycles = c.recoveryCycles;
+        st.set("chaos.injected", double(c.injected));
+        st.set("chaos.retries", double(c.retries));
+        st.set("chaos.fallbacks", double(c.fallbacks));
+        st.set("chaos.recoveryCycles", double(c.recoveryCycles));
+        st.set("chaos.linkFaults", double(c.linkFaults));
+        st.set("chaos.linkDegrades", double(c.linkDegrades));
+        st.set("chaos.dmaFaults", double(c.dmaFaults));
+        st.set("chaos.acksLost", double(c.acksLost));
+        st.set("chaos.walkerStalls", double(c.walkerStalls));
+        st.set("chaos.dmaAbandoned", double(c.dmaAbandoned));
+        st.set("chaos.migrationTimeouts", double(c.migrationTimeouts));
+        st.set("chaos.messagesNacked",
+               double(_network->messagesNacked));
+        st.set("chaos.driverMigrationTimeouts",
+               double(_driver->migrationTimeouts));
+        st.set("chaos.lateDmaCompletions",
+               double(_driver->lateDmaCompletions));
+        if (_griffinPolicy) {
+            const auto &ex = _griffinPolicy->executor();
+            st.set("chaos.shootdownsReissued",
+                   double(ex.shootdownsReissued));
+            st.set("chaos.batchesAborted", double(ex.batchesAborted));
+            st.set("chaos.lateTransferCompletions",
+                   double(ex.lateTransferCompletions));
+        }
+    }
 
     return result;
 }

@@ -31,6 +31,8 @@
 #include "src/obs/span.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/stats.hh"
+#include "src/sim/watchdog.hh"
+#include "src/sys/chaos.hh"
 #include "src/sys/system_config.hh"
 #include "src/workloads/workload.hh"
 #include "src/xlat/iommu.hh"
@@ -60,6 +62,14 @@ struct RunResult
     obs::CriticalPath faultBreakdown;
     /** Faults whose span never closed (should be 0 after a run). */
     std::uint64_t faultSpansOpen = 0;
+    /** @name Chaos accounting (zero when injection is off) @{ */
+    std::uint64_t chaosInjected = 0;
+    std::uint64_t chaosRetries = 0;
+    std::uint64_t chaosFallbacks = 0;
+    std::uint64_t chaosRecoveryCycles = 0;
+    /** Invariant-auditor violations (should always be 0). */
+    std::uint64_t auditViolations = 0;
+    /** @} */
 
     double
     localFraction() const
@@ -119,6 +129,18 @@ class MultiGpuSystem : public gpu::RemoteRouter
     gpu::Pmc &pmc(unsigned dev) { return *_pmcs[dev]; }
     /** The run's fault-span sink (attached for the run's duration). */
     const obs::FaultSpans &faultSpans() const { return _spans; }
+    /** Non-null only when the config enabled chaos injection. */
+    FaultInjector *faultInjector() { return _injector.get(); }
+    /** The liveness watchdog (always present). */
+    sim::Watchdog &watchdog() { return *_watchdog; }
+    /** Invariant-auditor violations found so far. */
+    std::uint64_t auditViolations() const { return _auditViolations; }
+    /**
+     * Cross-check TLB contents, pin/fallback state and residency
+     * counts against the page table. @return violations found (each
+     * is also logged at Error level).
+     */
+    std::uint64_t auditInvariants();
     /** @} */
 
     /** Install a per-access probe on every GPU (benches). */
@@ -147,6 +169,11 @@ class MultiGpuSystem : public gpu::RemoteRouter
     std::unique_ptr<gpu::Dispatcher> _dispatcher;
     std::unique_ptr<core::MigrationPolicy> _policy;
     core::GriffinPolicy *_griffinPolicy = nullptr;
+    /** Built only when SystemConfig::chaos enables injection. */
+    std::unique_ptr<FaultInjector> _injector;
+    /** Lost-wakeup detector; probes registered at construction. */
+    std::unique_ptr<sim::Watchdog> _watchdog;
+    std::uint64_t _auditViolations = 0;
 
     /** Run-level latency histograms, attached for the run's duration. */
     obs::Metrics _metrics;

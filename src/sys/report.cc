@@ -19,19 +19,24 @@ namespace griffin::sys {
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    // The geometric mean is only defined over positive values. A
+    // degenerate input (a zero-cycle run, a NaN from a dead counter)
+    // should not take the whole report down: skip such values with a
+    // warning and average what remains. Note !(v > 0.0) is also true
+    // for NaN, so this is NaN-safe.
     double log_sum = 0.0;
+    std::size_t used = 0;
     for (const double v : values) {
         if (!(v > 0.0)) {
-            GLOG(Warn, "geomean: non-positive value " << v
-                           << ", mean undefined; returning 0");
-            assert(false && "geomean requires positive values");
-            return 0.0;
+            GLOG(Warn, "geomean: skipping non-positive value " << v);
+            continue;
         }
         log_sum += std::log(v);
+        ++used;
     }
-    return std::exp(log_sum / double(values.size()));
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / double(used));
 }
 
 Table::Table(std::vector<std::string> header) : _header(std::move(header))
@@ -162,6 +167,18 @@ configJson(const SystemConfig &config)
         g["tAc"] = std::uint64_t(config.griffin.tAc);
         v["griffin"] = std::move(g);
     }
+    if (config.chaos.enabled()) {
+        obs::json::Value c = obs::json::Value::object();
+        c["linkFaultRate"] = config.chaos.linkFaultRate;
+        c["linkDegradeRate"] = config.chaos.linkDegradeRate;
+        c["dmaFaultRate"] = config.chaos.dmaFaultRate;
+        c["shootdownAckLossRate"] = config.chaos.shootdownAckLossRate;
+        c["walkerStallRate"] = config.chaos.walkerStallRate;
+        c["migrationTimeout"] =
+            std::uint64_t(config.chaos.migrationTimeout);
+        c["seed"] = config.chaos.seed;
+        v["chaos"] = std::move(c);
+    }
     return v;
 }
 
@@ -187,6 +204,16 @@ runReportJson(const std::string &label, const SystemConfig &config,
     r["pagesMigratedFromCpu"] = result.pagesMigratedFromCpu;
     r["pagesMigratedInterGpu"] = result.pagesMigratedInterGpu;
     v["result"] = std::move(r);
+
+    // Chaos accounting: emitted unconditionally (all zeros when
+    // injection is off) so report consumers can rely on the shape.
+    obs::json::Value chaos = obs::json::Value::object();
+    chaos["injected"] = result.chaosInjected;
+    chaos["retries"] = result.chaosRetries;
+    chaos["fallbacks"] = result.chaosFallbacks;
+    chaos["recovery_cycles"] = result.chaosRecoveryCycles;
+    chaos["audit_violations"] = result.auditViolations;
+    v["chaos"] = std::move(chaos);
 
     obs::json::Value counters = obs::json::Value::object();
     for (const auto &[name, value] : result.stats.all())

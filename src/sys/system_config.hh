@@ -18,6 +18,7 @@
 #include "src/mem/cache.hh"
 #include "src/mem/dram.hh"
 #include "src/sim/types.hh"
+#include "src/sys/chaos.hh"
 #include "src/xlat/iommu.hh"
 
 namespace griffin::sys {
@@ -65,6 +66,13 @@ struct SystemConfig
 
     /** Watchdog: abort runs that exceed this many cycles. */
     Tick maxTicks = Tick(4) * 1000 * 1000 * 1000;
+
+    /**
+     * Fault injection (off by default). When any rate is nonzero the
+     * system builds a FaultInjector, arms the recovery timeouts and
+     * runs the periodic invariant auditor.
+     */
+    ChaosConfig chaos{};
 
     std::uint64_t seed = 42;
 

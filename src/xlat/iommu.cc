@@ -8,6 +8,7 @@
 #include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
+#include "src/sys/chaos.hh"
 
 namespace griffin::xlat {
 
@@ -76,8 +77,23 @@ Iommu::startWalks()
         assert(it != _walkWaiters.end());
         for (Request &req : it->second)
             req.walkStart = _engine.now();
-        _engine.schedule(_config.walkLatency,
-                         [this, page] { finishWalk(page); });
+        Tick latency = _config.walkLatency;
+        if (_injector && _injector->stallWalker()) {
+            // Injected walker stall: the walk simply takes longer;
+            // every coalesced waiter absorbs the penalty.
+            const Tick penalty = _injector->config().walkerStallPenalty;
+            latency += penalty;
+            ++walksStalled;
+            _injector->noteRecoveryCycles(penalty);
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatChaos)) {
+                tr->instant(obs::CatChaos, kTrack, "walker_stall",
+                            _engine.now(),
+                            obs::TraceArgs()
+                                .add("page", page)
+                                .add("penalty", penalty));
+            }
+        }
+        _engine.schedule(latency, [this, page] { finishWalk(page); });
     }
 }
 
@@ -113,6 +129,16 @@ Iommu::resolve(Request req)
                             .add("page", req.page));
         }
         _parked[req.page].push_back(std::move(req));
+        return;
+    }
+
+    if (pi.dcaFallback) {
+        // A recovery timeout degraded this page to DCA remote access:
+        // serve it from CPU memory without consulting the policy, so
+        // an abort can never re-enter the migration machinery.
+        ++dcaRedirects;
+        ++fallbackRedirects;
+        reply(req, XlatReply{cpuDeviceId, false});
         return;
     }
 

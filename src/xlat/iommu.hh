@@ -33,6 +33,10 @@
 #include "src/xlat/fault_handler.hh"
 #include "src/xlat/tlb.hh"
 
+namespace griffin::sys {
+class FaultInjector;
+} // namespace griffin::sys
+
 namespace griffin::xlat {
 
 /** IOMMU parameters (paper Table II: 8 page table walkers). */
@@ -68,6 +72,15 @@ class Iommu
 
     /** Install the fault receiver (required before requests). */
     void setFaultHandler(FaultHandler *handler) { _faultHandler = handler; }
+
+    /**
+     * Attach a fault injector (nullptr detaches). When set, each page
+     * table walk may stall for an extra fixed penalty.
+     */
+    void setFaultInjector(sys::FaultInjector *injector)
+    {
+        _injector = injector;
+    }
 
     /**
      * A translation request has arrived at the IOMMU (the requester
@@ -117,6 +130,16 @@ class Iommu
     /** Walkers currently in a walk (occupancy probe). */
     unsigned busyWalkers() const { return _busyWalkers; }
 
+    /** Requests parked behind in-flight migrations (watchdog probe). */
+    std::size_t
+    parkedCount() const
+    {
+        std::size_t count = 0;
+        for (const auto &[page, waiters] : _parked)
+            count += waiters.size();
+        return count;
+    }
+
     const IommuConfig &config() const { return _config; }
 
     /** @name Statistics @{ */
@@ -127,6 +150,8 @@ class Iommu
     std::uint64_t faultsRaised = 0;
     std::uint64_t dcaRedirects = 0;     ///< CPU-resident, served remotely
     std::uint64_t parkedRequests = 0;   ///< waited on an ongoing migration
+    std::uint64_t walksStalled = 0;     ///< injected walker stalls
+    std::uint64_t fallbackRedirects = 0; ///< served via dcaFallback pages
     /** @} */
 
   private:
@@ -153,6 +178,7 @@ class Iommu
 
     core::MigrationPolicy *_policy = nullptr;
     FaultHandler *_faultHandler = nullptr;
+    sys::FaultInjector *_injector = nullptr;
 
     /** Pages queued for a walk, FCFS; waiters held in _walkWaiters. */
     std::deque<PageId> _walkQueue;

@@ -108,4 +108,14 @@ Tlb::validEntries() const
     return count;
 }
 
+void
+Tlb::forEachValid(
+    const std::function<void(PageId, DeviceId)> &visit) const
+{
+    for (const Entry &entry : _entries) {
+        if (entry.valid)
+            visit(entry.page, entry.location);
+    }
+}
+
 } // namespace griffin::xlat

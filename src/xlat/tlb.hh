@@ -13,6 +13,7 @@
 #define GRIFFIN_XLAT_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -63,6 +64,14 @@ class Tlb
 
     /** Number of valid entries. */
     std::uint64_t validEntries() const;
+
+    /**
+     * Visit every valid entry (page, cached location) without
+     * perturbing LRU. Used by the invariant auditor to cross-check
+     * TLB contents against the page table.
+     */
+    void forEachValid(
+        const std::function<void(PageId, DeviceId)> &visit) const;
 
     /** @name Statistics @{ */
     std::uint64_t hits = 0;

@@ -66,6 +66,34 @@ TEST(Link, StatsPerDirection)
     EXPECT_EQ(link.busyCycles[1], 4u);
 }
 
+TEST(Link, DegradeWindowScalesServiceTime)
+{
+    Link link(LinkConfig{32.0, 250});
+    // At quarter bandwidth, 64 B takes 8 service cycles, not 2.
+    link.degrade(1000, 0.25);
+    EXPECT_TRUE(link.degradedAt(0));
+    EXPECT_EQ(link.send(0, 0, 64), 258u);
+    EXPECT_EQ(link.degradedMessages, 1u);
+}
+
+TEST(Link, DegradeWindowExpires)
+{
+    Link link(LinkConfig{32.0, 250});
+    link.degrade(100, 0.25);
+    EXPECT_FALSE(link.degradedAt(100));
+    // A message starting after the window sees full bandwidth again.
+    EXPECT_EQ(link.send(100, 0, 64), 352u);
+    EXPECT_EQ(link.degradedMessages, 0u);
+}
+
+TEST(Link, DegradeExtendsNotShrinks)
+{
+    Link link(LinkConfig{32.0, 250});
+    link.degrade(1000, 0.25);
+    link.degrade(500, 0.25); // shorter window must not shrink it
+    EXPECT_TRUE(link.degradedAt(900));
+}
+
 TEST(Network, DeliversAfterTwoHops)
 {
     sim::Engine engine;

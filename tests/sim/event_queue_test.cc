@@ -155,6 +155,85 @@ TEST(EventQueue, ClampedPastEventKeepsFifoOrderAtNow)
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(EventQueue, TimeoutFiresLikeAnEvent)
+{
+    EventQueue q;
+    Tick firedAt = 0;
+    const auto id = q.scheduleTimeout(25, [&] { firedAt = q.now(); });
+    EXPECT_NE(id, griffin::sim::invalidTimerId);
+    EXPECT_EQ(q.pendingTimeouts(), 1u);
+    q.run();
+    EXPECT_EQ(firedAt, 25u);
+    EXPECT_EQ(q.pendingTimeouts(), 0u);
+}
+
+TEST(EventQueue, CancelledTimeoutNeverFires)
+{
+    EventQueue q;
+    bool fired = false;
+    const auto id = q.scheduleTimeout(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancelTimeout(id));
+    EXPECT_EQ(q.pendingTimeouts(), 0u);
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse)
+{
+    EventQueue q;
+    const auto id = q.scheduleTimeout(10, [] {});
+    EXPECT_TRUE(q.cancelTimeout(id));
+    EXPECT_FALSE(q.cancelTimeout(id));
+    EXPECT_FALSE(q.cancelTimeout(griffin::sim::invalidTimerId));
+}
+
+TEST(EventQueue, CancelAfterFireIsFalse)
+{
+    EventQueue q;
+    const auto id = q.scheduleTimeout(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancelTimeout(id));
+}
+
+TEST(EventQueue, CancelledTimeoutDoesNotExtendRun)
+{
+    // A recovery timer armed past the last real event must not drag
+    // the simulated end time out to its (cancelled) deadline.
+    EventQueue q;
+    q.schedule(10, [] {});
+    const auto id = q.scheduleTimeout(1000000, [] {});
+    q.schedule(5, [&] { q.cancelTimeout(id); });
+    EXPECT_EQ(q.run(), 10u);
+}
+
+TEST(EventQueue, SizeExcludesCancelledTimeouts)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    const auto id = q.scheduleTimeout(20, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancelTimeout(id);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, RunUntilIgnoresCancelledDeadline)
+{
+    // A cancelled entry sitting at the top of the heap must not let
+    // runUntil() execute a real event beyond the limit.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const auto id = q.scheduleTimeout(10, [&] { fired.push_back(10); });
+    q.schedule(50, [&] { fired.push_back(50); });
+    q.cancelTimeout(id);
+    q.runUntil(20);
+    EXPECT_TRUE(fired.empty());
+    EXPECT_EQ(q.now(), 20u);
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{50}));
+}
+
 TEST(EventQueue, ManyEventsKeepTotalOrder)
 {
     EventQueue q;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/obs/json.hh"
 #include "src/obs/sampler.hh"
 #include "src/obs/span.hh"
@@ -65,12 +67,15 @@ TEST(TableDeathTest, OversizedRowAsserts)
     EXPECT_DEATH(t.addRow({"1", "2", "3"}), "wider than its header");
 }
 
-TEST(GeomeanDeathTest, NonPositiveValueAsserts)
+TEST(Geomean, SkipsNonPositiveValues)
 {
-    // geomean of a non-positive value is undefined; returning 0 used
-    // to hide sign bugs in speedup computations.
-    EXPECT_DEATH((void)geomean({2.0, -1.0}), "positive");
-    EXPECT_DEATH((void)geomean({0.0}), "positive");
+    // The geometric mean is only defined over positive values. A
+    // degenerate entry (zero-cycle run, NaN from a dead counter) is
+    // skipped with a warning instead of killing the whole report.
+    EXPECT_DOUBLE_EQ(geomean({2.0, -1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0, -7.0, 0.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({std::nan(""), 8.0}), 8.0);
 }
 
 TEST(Table, CsvFormat)

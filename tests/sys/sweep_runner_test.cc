@@ -97,6 +97,44 @@ TEST(SweepRunner, ParallelRunMatchesSerialBitForBit)
     }
 }
 
+TEST(SweepRunner, ChaosSweepIsByteIdenticalAcrossJobCounts)
+{
+    // Each simulation owns its FaultInjector (split from the chaos
+    // seed), so a sweep under sustained injection must stay
+    // bit-identical whether it runs on 1 worker or 8.
+    const auto chaos =
+        sys::ChaosConfig::parse("dma=0.3,link=0.02,walker=0.05");
+    ASSERT_TRUE(chaos.has_value());
+    auto runChaosGrid = [&](unsigned workers) {
+        SweepRunner runner(workers);
+        for (auto &job : gridJobs()) {
+            job.config.chaos = *chaos;
+            runner.submit(std::move(job));
+        }
+        return runner.run();
+    };
+
+    const auto serial = runChaosGrid(1);
+    const auto parallel = runChaosGrid(8);
+    auto jobs = gridJobs();
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        jobs[i].config.chaos = *chaos;
+        EXPECT_GT(serial[i].chaosInjected, 0u);
+        EXPECT_EQ(serial[i].auditViolations, 0u);
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_EQ(serial[i].chaosInjected, parallel[i].chaosInjected);
+        EXPECT_EQ(serial[i].chaosRetries, parallel[i].chaosRetries);
+        EXPECT_EQ(serial[i].stats.dump(), parallel[i].stats.dump());
+        EXPECT_EQ(
+            sys::runReportJson(jobs[i].label, jobs[i].config,
+                               serial[i]).dump(2),
+            sys::runReportJson(jobs[i].label, jobs[i].config,
+                               parallel[i]).dump(2));
+    }
+}
+
 TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
 {
     // Labels ride along through pre/postRun hooks; results land at the
