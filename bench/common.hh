@@ -17,6 +17,10 @@
  *   --report=FILE   JSON run report (config, counters, percentiles)
  *   --samples=FILE  time-series CSV, one section per run
  *   --sample=N      sampling period in cycles (default 10000; 0 = off)
+ *   --page-stats    per-page lifecycle telemetry; adds a "page_stats"
+ *                   section to each report run (src/obs/pagestats.hh)
+ *   --timeseries=N  event time-series with N-cycle intervals; adds a
+ *                   "timeseries" section to each report run (0 = off)
  *   --log=LEVEL     stderr log level: error|warn|info|trace
  *                   (log lines carry a [tick] prefix while a system runs)
  *
@@ -77,6 +81,10 @@ struct Options
     std::string samplesFile;
     bool traceAllCategories = false;
     Tick samplePeriod = 10000;
+    /** Per-page lifecycle telemetry (--page-stats). */
+    bool pageStats = false;
+    /** Event time-series interval width (--timeseries=N; 0 = off). */
+    Tick timeseriesTick = 0;
     /** @} */
 
     /** Fault injection, set by --chaos / --chaos-seed. */
@@ -106,8 +114,14 @@ struct Options
         return v;
     }
 
+    /**
+     * @param notes an optional bench-specific line appended to the
+     *        --help output — the place to declare flags this bench
+     *        pins or ignores (perf_gate pins scale/seed/sample, the
+     *        single-workload figures ignore --workload).
+     */
     static Options
-    parse(int argc, char **argv)
+    parse(int argc, char **argv, const char *notes = nullptr)
     {
         Options opt;
         std::string chaos_spec;
@@ -139,6 +153,11 @@ struct Options
             } else if (arg.rfind("--sample=", 0) == 0) {
                 opt.samplePeriod = Tick(parseNum(arg, 9, "--sample", 0,
                                                  std::uint64_t(-1)));
+            } else if (arg == "--page-stats") {
+                opt.pageStats = true;
+            } else if (arg.rfind("--timeseries=", 0) == 0) {
+                opt.timeseriesTick = Tick(parseNum(
+                    arg, 13, "--timeseries", 0, std::uint64_t(-1)));
             } else if (arg.rfind("--chaos=", 0) == 0) {
                 chaos_spec = arg.substr(8);
             } else if (arg.rfind("--chaos-seed=", 0) == 0) {
@@ -162,8 +181,11 @@ struct Options
                              " --workload=ABBV (repeatable)"
                              " --trace=FILE [--trace-all]"
                              " --report=FILE --samples=FILE"
-                             " --sample=N --log=LEVEL"
+                             " --sample=N --page-stats --timeseries=N"
+                             " --log=LEVEL"
                              " --chaos=SPEC --chaos-seed=N\n";
+                if (notes)
+                    std::cout << "note: " << notes << "\n";
                 std::exit(0);
             } else {
                 std::cerr << "warning: unrecognized flag '" << arg
@@ -257,8 +279,7 @@ class ObsState
                 if (slot.hasReport)
                     runs.push(std::move(slot.report));
             }
-            obs::json::Value doc = obs::json::Value::object();
-            doc["runs"] = std::move(runs);
+            obs::json::Value doc = sys::reportDocument(std::move(runs));
             std::ofstream os(_reportFile);
             os << doc.dump(2) << "\n";
             std::cerr << "report: " << _reportFile << "\n";
@@ -402,6 +423,10 @@ class Sweep
         job.config = scfg;
         if (_opt.chaos)
             job.config.chaos = *_opt.chaos;
+        if (_opt.pageStats)
+            job.config.pageStats.enabled = true;
+        if (_opt.timeseriesTick > 0)
+            job.config.timeseriesTick = _opt.timeseriesTick;
         job.makeWorkload = [name, wcfg = _opt.workloadConfig()] {
             return wl::makeWorkload(name, wcfg);
         };

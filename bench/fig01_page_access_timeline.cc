@@ -21,7 +21,10 @@ using namespace griffin;
 int
 main(int argc, char **argv)
 {
-    const auto opt = bench::Options::parse(argc, argv);
+    const auto opt = bench::Options::parse(
+        argc, argv,
+        "fig01 always runs SC under the baseline system (the paper "
+        "plots exactly that workload); --workload is ignored");
 
     // Track accesses per (bucket, gpu) for every page; pick the most
     // accessed page afterwards — the paper plots exactly that page.

@@ -66,7 +66,10 @@ findOwnerShiftingPage(const std::map<PageId,
 int
 main(int argc, char **argv)
 {
-    const auto opt = bench::Options::parse(argc, argv);
+    const auto opt = bench::Options::parse(
+        argc, argv,
+        "fig10 always runs SC under Griffin (the paper plots exactly "
+        "that workload); --workload is ignored");
 
     // The two passes are dependent (pass 2 probes the page pass 1
     // found), so each is its own single-job sweep — which executes

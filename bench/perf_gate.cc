@@ -25,7 +25,11 @@ using namespace griffin;
 int
 main(int argc, char **argv)
 {
-    auto opt = bench::Options::parse(argc, argv);
+    auto opt = bench::Options::parse(
+        argc, argv,
+        "perf_gate pins --scale=64 --seed=42 --sample=0 (the committed "
+        "BENCH_*.json references depend on them); --workload selects "
+        "from the gate set {MT, BFS, SC}");
 
     // Pin everything that shapes the numbers. CI runs must match the
     // committed references bit for bit when nothing changed.

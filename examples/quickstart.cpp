@@ -107,7 +107,6 @@ main(int argc, char **argv)
                   << " events; open in ui.perfetto.dev)\n";
     }
     if (!report_file.empty()) {
-        obs::json::Value doc = obs::json::Value::object();
         obs::json::Value runs = obs::json::Value::array();
         runs.push(sys::runReportJson(name + "/first-touch",
                                      sys::SystemConfig::baseline(),
@@ -115,7 +114,7 @@ main(int argc, char **argv)
         runs.push(sys::runReportJson(name + "/griffin",
                                      sys::SystemConfig::griffinDefault(),
                                      grif));
-        doc["runs"] = std::move(runs);
+        obs::json::Value doc = sys::reportDocument(std::move(runs));
         std::ofstream os(report_file);
         os << doc.dump(2) << "\n";
         std::cout << "wrote report: " << report_file << "\n";

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/pagestats.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 #include "src/sys/chaos.hh"
@@ -138,6 +139,12 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
                         pi.migrationPending = false;
                         _injector->noteFallback();
                         _injector->noteMigrationTimeout();
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::MigrationAbort, move.page,
+                            move.from, move.to, _engine.now());
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::Recovery, move.page,
+                            move.from, move.to, _engine.now());
                         _iommu.onMigrationDone(move.page);
                     }
                     _injector->noteRecoveryCycles(timeout);
@@ -176,6 +183,14 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
             Tick ack_penalty = 0;
             if (selective) {
                 src_gpu->shootdownPages(*pages);
+                if (obs::PageStats::active()) {
+                    for (const PageId page : *pages) {
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::Shootdown, page,
+                            src_gpu->id(), invalidDeviceId,
+                            _engine.now());
+                    }
+                }
                 wb_done = src_gpu->flushCachesForPages(*pages);
                 if (_injector) {
                     // Lost-ACK recovery: each lost completion ACK

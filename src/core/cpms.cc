@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <unordered_set>
+
+#include "src/obs/pagestats.hh"
 
 namespace griffin::core {
 
@@ -13,7 +16,8 @@ Cpms::Cpms(unsigned max_pages_per_period, unsigned max_source_gpus)
 }
 
 std::vector<MigrationBatch>
-Cpms::schedule(const std::vector<MigrationCandidate> &candidates)
+Cpms::schedule(const std::vector<MigrationCandidate> &candidates,
+               Tick now)
 {
     ++phases;
 
@@ -57,6 +61,20 @@ Cpms::schedule(const std::vector<MigrationCandidate> &candidates)
     pagesScheduled += pages_total;
     pagesDeferred += candidates.size() - pages_total;
     batchesEmitted += batches.size();
+
+    if (obs::PageStats::active() && pages_total < candidates.size()) {
+        std::unordered_set<PageId> scheduled;
+        for (const auto &batch : batches)
+            for (const auto &move : batch.moves)
+                scheduled.insert(move.page);
+        for (const auto &cand : candidates) {
+            if (!scheduled.count(cand.page)) {
+                obs::PageStats::recordActive(
+                    obs::PageEvent::MigrationDeferred, cand.page,
+                    cand.from, cand.to, now);
+            }
+        }
+    }
     return batches;
 }
 

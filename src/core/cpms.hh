@@ -42,9 +42,12 @@ class Cpms
     /**
      * Turn the (score-sorted) candidate list into per-source batches,
      * preferring the sources with the most candidate traffic.
+     * @p now timestamps the candidates dropped by the per-phase caps
+     * (recorded as MigrationDeferred when page stats are attached).
      */
     std::vector<MigrationBatch>
-    schedule(const std::vector<MigrationCandidate> &candidates);
+    schedule(const std::vector<MigrationCandidate> &candidates,
+             Tick now = 0);
 
     /** @name Statistics @{ */
     std::uint64_t phases = 0;

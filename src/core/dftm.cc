@@ -1,6 +1,7 @@
 #include "src/core/dftm.hh"
 
 #include "src/mem/page_table.hh"
+#include "src/obs/pagestats.hh"
 
 namespace griffin::core {
 
@@ -49,10 +50,16 @@ Dftm::decide(DeviceId requester, PageId page, mem::PageTable &pt,
         pi.touched = true;
         _lease[page] = Lease{now, now};
         ++firstTouchDenials;
+        obs::PageStats::recordActive(obs::PageEvent::FirstTouch, page,
+                                     cpuDeviceId, requester, now);
+        obs::PageStats::recordActive(obs::PageEvent::DftmDenial, page,
+                                     cpuDeviceId, requester, now);
         return CpuAccessDecision{false};
     }
 
     ++firstTouchMigrations;
+    obs::PageStats::recordActive(obs::PageEvent::FirstTouch, page,
+                                 cpuDeviceId, requester, now);
     return CpuAccessDecision{true};
 }
 

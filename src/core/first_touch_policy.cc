@@ -1,6 +1,7 @@
 #include "src/core/first_touch_policy.hh"
 
 #include "src/mem/page_table.hh"
+#include "src/obs/pagestats.hh"
 
 namespace griffin::core {
 
@@ -8,9 +9,10 @@ CpuAccessDecision
 FirstTouchPolicy::onCpuResidentAccess(DeviceId requester, PageId page,
                                       mem::PageTable &pt)
 {
-    (void)requester;
     pt.info(page).touched = true;
     ++firstTouchMigrations;
+    obs::PageStats::recordActiveNow(obs::PageEvent::FirstTouch, page,
+                                    cpuDeviceId, requester);
     return CpuAccessDecision{true};
 }
 

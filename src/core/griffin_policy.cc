@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/pagestats.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
@@ -37,6 +38,9 @@ GriffinPolicy::onCpuResidentAccess(DeviceId requester, PageId page,
     if (!_config.enableDftm) {
         // DFTM ablated: plain first-touch demand paging.
         pt.info(page).touched = true;
+        obs::PageStats::recordActive(obs::PageEvent::FirstTouch, page,
+                                     cpuDeviceId, requester,
+                                     _engine.now());
         return CpuAccessDecision{true};
     }
     const auto decision =
@@ -160,7 +164,8 @@ GriffinPolicy::onCountsCollected()
         return;
     }
 
-    std::vector<MigrationBatch> batches = _cpms.schedule(candidates);
+    std::vector<MigrationBatch> batches =
+        _cpms.schedule(candidates, _engine.now());
     if (batches.empty())
         return;
 

@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "src/obs/metrics.hh"
+#include "src/obs/pagestats.hh"
 #include "src/obs/span.hh"
+#include "src/obs/timeseries.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 #include "src/sys/chaos.hh"
@@ -86,6 +88,7 @@ Driver::startBatch()
 
     ++batchesProcessed;
     ++cpuShootdowns;
+    obs::TimeSeries::countActive(obs::TimeSeries::Series::Shootdowns);
     GLOG(Trace, "driver: fault batch of " << batch.size() << " pages");
 
     const Tick now = _engine.now();
@@ -108,6 +111,11 @@ Driver::startBatch()
     // The batch closing ends every member's batch-wait stage.
     for (const Fault &fault : batch) {
         obs::FaultSpans::markActive(fault.fid, obs::Stage::BatchWait, now);
+        // The CPU flush covering this batch shoots down each member
+        // page's translation before it migrates.
+        obs::PageStats::recordActive(obs::PageEvent::Shootdown,
+                                     fault.page, cpuDeviceId,
+                                     fault.requester, now);
         if (fault.fid != invalidFaultId) {
             if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
                 tr->flow(obs::CatFault, kTrack, "fault", now, fault.fid,
@@ -159,6 +167,8 @@ Driver::startBatch()
                         m->latency.faultLatency.sample(
                             double(_engine.now() - fault.raisedAt));
                     }
+                    obs::TimeSeries::faultActive(
+                        double(_engine.now() - fault.raisedAt));
                     _iommu.onMigrationDone(fault.page);
                 },
                 fault.fid);
@@ -182,10 +192,22 @@ Driver::startBatch()
                         pi.migrating = false;
                         pi.pinned = false;
                         pi.dcaFallback = true;
+                        const Tick abort_at = _engine.now();
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::MigrationAbort, fault.page,
+                            cpuDeviceId, fault.requester, abort_at);
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::DcaFallback, fault.page,
+                            cpuDeviceId, fault.requester, abort_at);
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::Recovery, fault.page,
+                            cpuDeviceId, fault.requester, abort_at);
                         if (auto *m = obs::Metrics::active()) {
                             m->latency.faultLatency.sample(
                                 double(_engine.now() - fault.raisedAt));
                         }
+                        obs::TimeSeries::faultActive(
+                            double(_engine.now() - fault.raisedAt));
                         if (auto *tr = obs::TraceSession::activeFor(
                                 obs::CatChaos)) {
                             tr->instant(obs::CatChaos, kTrack,

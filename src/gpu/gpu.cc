@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/timeseries.hh"
 #include "src/obs/trace.hh"
 #include "src/sim/log.hh"
 
@@ -185,6 +186,8 @@ Gpu::haveTranslation(unsigned cu_id, Addr vaddr, bool is_write,
                     });
     } else {
         ++remoteAccesses;
+        obs::TimeSeries::countActive(
+            obs::TimeSeries::Series::DcaAccesses);
         _router.remoteAccess(_id, location, vaddr, is_write,
                              std::move(done));
     }
@@ -336,6 +339,7 @@ Gpu::flushForMigration(sim::EventFn done)
         entries += tlb.invalidateAll();
     entries += _l2Tlb.invalidateAll();
     ++tlbShootdownEvents;
+    obs::TimeSeries::countActive(obs::TimeSeries::Series::Shootdowns);
     tlbEntriesShotDown += entries;
 
     // Flush both cache levels; dirty lines drain into local DRAM.
@@ -383,6 +387,7 @@ Gpu::shootdownPages(const std::vector<PageId> &pages)
 {
     assert(std::is_sorted(pages.begin(), pages.end()));
     ++tlbShootdownEvents;
+    obs::TimeSeries::countActive(obs::TimeSeries::Series::Shootdowns);
     std::uint64_t entries = 0;
     for (const PageId page : pages) {
         for (auto &tlb : _l1Tlbs)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/obs/metrics.hh"
+#include "src/obs/pagestats.hh"
 #include "src/obs/span.hh"
 #include "src/obs/trace.hh"
 #include "src/sys/chaos.hh"
@@ -25,6 +26,12 @@ void
 Pmc::transferPage(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
 {
     assert(dst < _drams.size() && dst != _self);
+
+    // Every migration attempt enters here, queued or not, so this is
+    // the page's migration_start event (commit happens at
+    // PageTable::setLocation, abort at the arming side's timeout).
+    obs::PageStats::recordActive(obs::PageEvent::MigrationStart, page,
+                                 _self, dst, _engine.now());
 
     if (_maxConcurrent != 0 && _inflight >= _maxConcurrent) {
         ++transfersDeferred;
@@ -104,6 +111,9 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                         // executor) is the recovery path.
                         ++transfersAbandoned;
                         _injector->noteDmaAbandoned();
+                        obs::PageStats::recordActive(
+                            obs::PageEvent::Recovery, page, _self, dst,
+                            _engine.now());
                         if (auto *tr = obs::TraceSession::activeFor(
                                 obs::CatChaos)) {
                             tr->instant(obs::CatChaos,
@@ -120,6 +130,9 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                                          << (attempt - 1);
                     _injector->noteRetry();
                     _injector->noteRecoveryCycles(backoff);
+                    obs::PageStats::recordActive(
+                        obs::PageEvent::Recovery, page, _self, dst,
+                        _engine.now());
                     if (auto *tr = obs::TraceSession::activeFor(
                             obs::CatChaos)) {
                         tr->instant(obs::CatChaos,

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "src/obs/pagestats.hh"
+#include "src/obs/timeseries.hh"
+
 namespace griffin::mem {
 
 const PageInfo PageTable::_defaultInfo{};
@@ -39,6 +42,13 @@ PageTable::setLocation(PageId page, DeviceId dst)
         --_resident[pi.location];
         ++_resident[dst];
         ++_migrations;
+        // The single commit point of every migration: the telemetry
+        // recorded here is what reconciles the per-interval migration
+        // counts with the pageTable.migrations aggregate.
+        obs::PageStats::recordActiveNow(obs::PageEvent::MigrationCommit,
+                                        page, pi.location, dst);
+        obs::TimeSeries::countActive(
+            obs::TimeSeries::Series::Migrations);
     }
     pi.location = dst;
     pi.migrating = false;

@@ -36,6 +36,12 @@ Sampler::stop()
 {
     if (!_engine)
         return;
+    // Flush the final partial interval: without this, everything that
+    // happened after the last period boundary would vanish from the
+    // series. Strictly-greater keeps a boundary-coincident end from
+    // duplicating the last row.
+    if (!_rows.empty() && _engine->now() > _rows.back().tick)
+        sampleNow(_engine->now());
     _engine->removePeriodicHook(_hookId);
     _engine = nullptr;
     _hookId = 0;

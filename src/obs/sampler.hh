@@ -10,8 +10,11 @@
  *
  * Sampling rides the engine's periodic-hook mechanism: boundaries
  * fire inside run() without scheduling events, so the sampler never
- * extends the simulated end time and a run's row count is exactly
- * 1 + floor(t_last / period) (the initial row is taken at start()).
+ * extends the simulated end time. A run's row count is
+ * 1 + floor(t_last / period) boundary rows (the initial row is taken
+ * at start()) plus, when the run ends between boundaries, one final
+ * partial row taken by stop() at the end time — so the tail of the
+ * run is never dropped.
  */
 
 #ifndef GRIFFIN_OBS_SAMPLER_HH
@@ -59,7 +62,12 @@ class Sampler
      */
     void start(sim::Engine &engine, Tick period);
 
-    /** Deregister from the engine; recorded rows are kept. */
+    /**
+     * Deregister from the engine, first taking one final sample at
+     * the engine's current time when the run ended strictly after the
+     * last recorded row (the final partial sampling interval).
+     * Recorded rows are kept.
+     */
     void stop();
 
     /** Take one snapshot labelled @p tick right now. */

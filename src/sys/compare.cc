@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 
 #include "src/obs/span.hh"
+#include "src/sys/report.hh"
 
 namespace griffin::sys {
 
@@ -90,6 +92,22 @@ flattenNumbers(const obs::json::Value &node, const std::string &prefix,
     }
 }
 
+/**
+ * The document's schema_version as written (absent field = 1, the
+ * pre-versioning shape). Non-object / non-numeric degenerate inputs
+ * also read as 1: the runs parser reports those separately.
+ */
+std::uint64_t
+schemaVersionOf(const obs::json::Value &doc)
+{
+    if (doc.kind() != obs::json::Value::Kind::Object)
+        return 1;
+    const obs::json::Value *v = doc.find("schema_version");
+    if (!v || v->kind() != obs::json::Value::Kind::Number)
+        return 1;
+    return std::uint64_t(v->asNumber());
+}
+
 } // namespace
 
 std::optional<Threshold>
@@ -139,6 +157,17 @@ resolveMetricPath(const std::string &metric)
         {"fallbacks", "chaos.fallbacks"},
         {"recovery_cycles", "chaos.recovery_cycles"},
         {"audit_violations", "chaos.audit_violations"},
+        {"churn", "page_stats.churn_events"},
+        {"churn_pages", "page_stats.churn_pages"},
+        {"pages_migrated", "page_stats.pages_migrated"},
+        {"reuse_mean", "page_stats.reuse_distance.mean"},
+        {"reuse_p50", "page_stats.reuse_distance.p50"},
+        {"reuse_p95", "page_stats.reuse_distance.p95"},
+        {"reuse_p99", "page_stats.reuse_distance.p99"},
+        {"peak_migrations", "timeseries.peak.migrations"},
+        {"peak_dca_accesses", "timeseries.peak.dca_accesses"},
+        {"peak_shootdowns", "timeseries.peak.shootdowns"},
+        {"peak_faults", "timeseries.peak.faults"},
     };
     if (auto it = aliases.find(metric); it != aliases.end())
         return it->second;
@@ -181,6 +210,24 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
                const std::vector<Threshold> &thresholds)
 {
     CompareResult result;
+
+    // A report written by a newer (or older) library may carry
+    // sections this comparer does not understand; the numbers it does
+    // know still compare fine, so version skew warns instead of
+    // failing the gate.
+    const auto warn_version = [&result](const obs::json::Value &doc,
+                                        const char *which) {
+        const std::uint64_t version = schemaVersionOf(doc);
+        if (version != reportSchemaVersion) {
+            result.warnings.push_back(
+                std::string(which) + ": report schema_version " +
+                std::to_string(version) + " != expected " +
+                std::to_string(reportSchemaVersion) +
+                " — unknown sections are ignored");
+        }
+    };
+    warn_version(ref, "reference");
+    warn_version(cur, "current");
 
     const auto ref_runs =
         runsByLabel(ref, result.errors, result.fatal, "reference");
@@ -313,6 +360,11 @@ CompareResult::verdictJson() const
     for (const std::string &e : errors)
         jerrors.push(e);
     v["errors"] = std::move(jerrors);
+
+    obs::json::Value jwarnings = obs::json::Value::array();
+    for (const std::string &w : warnings)
+        jwarnings.push(w);
+    v["warnings"] = std::move(jwarnings);
 
     return v;
 }

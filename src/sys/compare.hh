@@ -56,6 +56,12 @@ std::optional<Threshold> parseThreshold(const std::string &spec);
  *   fault_{mean,p50,p95,p99}   histograms.faultLatency.*
  *   <stage>_{share,sum,p95}    fault_breakdown.stages.<stage>.*
  *                              (<stage> per obs::stageName)
+ *   churn                page_stats.churn_events
+ *   churn_pages          page_stats.churn_pages
+ *   pages_migrated       page_stats.pages_migrated
+ *   reuse_{mean,p50,p95,p99}   page_stats.reuse_distance.*
+ *   peak_{migrations,dca_accesses,shootdowns,faults}
+ *                              timeseries.peak.*
  *
  * Anything else is taken verbatim as a dotted path (so
  * "counters.iommu.walks" works unaliased... but note counter names
@@ -110,10 +116,18 @@ struct CompareResult
     std::vector<CheckResult> checks;
     std::vector<Drift> drifts; ///< largest |delta| first, capped
     std::vector<std::string> errors; ///< missing runs, parse problems
+    /**
+     * Non-failing advisories — today: a schema_version the comparer
+     * does not know (an absent field counts as version 1). A warned
+     * comparison still passes; the advisory just travels with the
+     * verdict.
+     */
+    std::vector<std::string> warnings;
 
     /**
      * Machine-readable verdict:
-     * {status, checks: [...], drift: [...], errors: [...]}.
+     * {status, checks: [...], drift: [...], errors: [...],
+     *  warnings: [...]}.
      */
     obs::json::Value verdictJson() const;
 };

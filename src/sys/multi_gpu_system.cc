@@ -141,6 +141,32 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
                         [this] { return _spans.openFaults(); });
     _engine.setWatchdog(_watchdog.get());
 
+    // Page-lifecycle and interval telemetry, built only on request so
+    // the default configuration records nothing and pays nothing.
+    if (config.pageStats.enabled) {
+        _pageStats = std::make_unique<obs::PageStats>(config.pageStats);
+        _pageStats->setClock(&_engine);
+    }
+    if (config.timeseriesTick > 0) {
+        _timeSeries =
+            std::make_unique<obs::TimeSeries>(config.timeseriesTick);
+        // Link utilization: cumulative busy cycles over every wire
+        // (one up + one down per device); the recorder differences
+        // them per interval into a mean busy fraction.
+        _timeSeries->setLinkBusyProbe(
+            [this] {
+                double busy = 0.0;
+                for (unsigned dev = 0; dev < _config.numDevices();
+                     ++dev) {
+                    const auto &lk = _network->link(DeviceId(dev));
+                    busy += double(lk.busyCycles[0]) +
+                            double(lk.busyCycles[1]);
+                }
+                return busy;
+            },
+            _config.numDevices() * 2);
+    }
+
     // Timestamp log lines with this system's clock for its lifetime.
     _prevLogClock = sim::Log::clock();
     sim::Log::setClock(&_engine);
@@ -288,6 +314,42 @@ MultiGpuSystem::run(wl::Workload &workload)
         ~SpansGuard() { s.detach(); }
     } spans_guard(_spans);
 
+    // Optional page-lifecycle and time-series recorders; the guards
+    // detach (and stop the boundary hook) on a watchdog throw too.
+    struct PageStatsGuard
+    {
+        obs::PageStats *p;
+        explicit PageStatsGuard(obs::PageStats *pp) : p(pp)
+        {
+            if (p)
+                p->attach();
+        }
+        ~PageStatsGuard()
+        {
+            if (p)
+                p->detach();
+        }
+    } pagestats_guard(_pageStats.get());
+
+    struct TimeSeriesGuard
+    {
+        obs::TimeSeries *t;
+        TimeSeriesGuard(obs::TimeSeries *tt, sim::Engine &engine) : t(tt)
+        {
+            if (t) {
+                t->attach();
+                t->start(engine);
+            }
+        }
+        ~TimeSeriesGuard()
+        {
+            if (t) {
+                t->stop();
+                t->detach();
+            }
+        }
+    } timeseries_guard(_timeSeries.get(), _engine);
+
     _policy->onSystemStart();
 
     // Launch the kernels back to back. The continuation captures its
@@ -336,6 +398,11 @@ MultiGpuSystem::run(wl::Workload &workload)
     // Final audit, chaos or not — a quiesced system must be
     // consistent.
     _auditViolations += auditInvariants();
+
+    // Flush the time series' final partial interval before the
+    // results snapshot it (the guard's later stop() is a no-op).
+    if (_timeSeries)
+        _timeSeries->stop();
 
     return collectResults();
 }
@@ -518,6 +585,18 @@ MultiGpuSystem::collectResults()
                    double(dpc.classCounts[c]));
         }
     }
+
+    if (_pageStats) {
+        result.pageStats = _pageStats->summary();
+        st.set("pages.tracked", double(result.pageStats.pagesTracked));
+        st.set("pages.migrationCommits",
+               double(result.pageStats.totalMigrations));
+        st.set("pages.churnEvents",
+               double(result.pageStats.churnEvents));
+        st.set("pages.churnPages", double(result.pageStats.churnPages));
+    }
+    if (_timeSeries)
+        result.timeseries = _timeSeries->summary();
 
     result.latency = _metrics.latency;
     result.faultBreakdown = _spans.criticalPath();

@@ -27,8 +27,10 @@
 #include "src/mem/dram.hh"
 #include "src/mem/page_table.hh"
 #include "src/obs/metrics.hh"
+#include "src/obs/pagestats.hh"
 #include "src/obs/sampler.hh"
 #include "src/obs/span.hh"
+#include "src/obs/timeseries.hh"
 #include "src/sim/engine.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/watchdog.hh"
@@ -60,6 +62,10 @@ struct RunResult
     obs::LatencyHistograms latency;
     /** Critical-path decomposition of every serviced fault. */
     obs::CriticalPath faultBreakdown;
+    /** Per-page lifecycle digest (enabled == false when off). */
+    obs::PageStatsSummary pageStats;
+    /** Interval time-series digest (tick == 0 when off). */
+    obs::TimeSeries::Summary timeseries;
     /** Faults whose span never closed (should be 0 after a run). */
     std::uint64_t faultSpansOpen = 0;
     /** @name Chaos accounting (zero when injection is off) @{ */
@@ -129,6 +135,10 @@ class MultiGpuSystem : public gpu::RemoteRouter
     gpu::Pmc &pmc(unsigned dev) { return *_pmcs[dev]; }
     /** The run's fault-span sink (attached for the run's duration). */
     const obs::FaultSpans &faultSpans() const { return _spans; }
+    /** Non-null only when the config enabled page-lifecycle stats. */
+    obs::PageStats *pageStats() { return _pageStats.get(); }
+    /** Non-null only when the config set a time-series tick. */
+    obs::TimeSeries *timeSeries() { return _timeSeries.get(); }
     /** Non-null only when the config enabled chaos injection. */
     FaultInjector *faultInjector() { return _injector.get(); }
     /** The liveness watchdog (always present). */
@@ -179,6 +189,10 @@ class MultiGpuSystem : public gpu::RemoteRouter
     obs::Metrics _metrics;
     /** Per-fault causal spans, attached alongside the metrics. */
     obs::FaultSpans _spans;
+    /** Built only when SystemConfig::pageStats.enabled. */
+    std::unique_ptr<obs::PageStats> _pageStats;
+    /** Built only when SystemConfig::timeseriesTick > 0. */
+    std::unique_ptr<obs::TimeSeries> _timeSeries;
     /** The log clock that was registered before this system's engine. */
     const sim::Engine *_prevLogClock = nullptr;
 

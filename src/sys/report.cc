@@ -1,6 +1,7 @@
 #include "src/sys/report.hh"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <iomanip>
@@ -182,6 +183,107 @@ configJson(const SystemConfig &config)
     return v;
 }
 
+namespace {
+
+obs::json::Value
+topPageJson(const obs::PageStatsSummary::TopPage &tp)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["page"] = std::uint64_t(tp.page);
+    v["migrations"] = tp.migrations;
+    v["churn"] = tp.churn;
+    v["denials"] = tp.denials;
+    v["last_location"] = std::uint64_t(tp.lastLocation);
+    obs::json::Value res = obs::json::Value::array();
+    for (const auto &hop : tp.residency) {
+        obs::json::Value entry = obs::json::Value::array();
+        entry.push(std::uint64_t(hop.at));
+        entry.push(std::uint64_t(hop.device));
+        res.push(std::move(entry));
+    }
+    v["residency"] = std::move(res);
+    return v;
+}
+
+obs::json::Value
+pageStatsJson(const obs::PageStatsSummary &ps)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["churn_window"] = std::uint64_t(ps.churnWindow);
+    v["top_n"] = std::uint64_t(ps.topN);
+    obs::json::Value events = obs::json::Value::object();
+    for (unsigned e = 0; e < obs::numPageEvents; ++e)
+        events[obs::pageEventName(obs::PageEvent(e))] = ps.events[e];
+    v["events"] = std::move(events);
+    v["pages_tracked"] = ps.pagesTracked;
+    v["pages_migrated"] = ps.pagesMigrated;
+    v["total_migrations"] = ps.totalMigrations;
+    v["churn_events"] = ps.churnEvents;
+    v["churn_pages"] = ps.churnPages;
+    v["max_migrations_one_page"] = ps.maxMigrationsOnePage;
+    v["reuse_distance"] = histogramJson(ps.reuseDistance);
+    obs::json::Value hot = obs::json::Value::array();
+    for (const auto &tp : ps.hotPages)
+        hot.push(topPageJson(tp));
+    v["hot_pages"] = std::move(hot);
+    obs::json::Value thrash = obs::json::Value::array();
+    for (const auto &tp : ps.thrashingPages)
+        thrash.push(topPageJson(tp));
+    v["thrashing_pages"] = std::move(thrash);
+    return v;
+}
+
+obs::json::Value
+timeseriesJson(const obs::TimeSeries::Summary &ts)
+{
+    obs::json::Value v = obs::json::Value::object();
+    v["tick"] = std::uint64_t(ts.tick);
+    obs::json::Value cols = obs::json::Value::array();
+    for (const char *c :
+         {"t_begin", "t_end", "migrations", "dca_accesses", "shootdowns",
+          "faults", "fault_p50", "fault_p95", "link_util"})
+        cols.push(c);
+    v["columns"] = std::move(cols);
+    obs::json::Value rows = obs::json::Value::array();
+    std::array<std::uint64_t, obs::TimeSeries::numSeries> peak{};
+    for (const auto &row : ts.rows) {
+        obs::json::Value jr = obs::json::Value::array();
+        jr.push(std::uint64_t(row.begin));
+        jr.push(std::uint64_t(row.end));
+        for (unsigned s = 0; s < obs::TimeSeries::numSeries; ++s) {
+            jr.push(row.counts[s]);
+            peak[s] = std::max(peak[s], row.counts[s]);
+        }
+        jr.push(row.faultP50);
+        jr.push(row.faultP95);
+        jr.push(row.linkUtil);
+        rows.push(std::move(jr));
+    }
+    v["rows"] = std::move(rows);
+    obs::json::Value totals = obs::json::Value::object();
+    totals["migrations"] =
+        ts.totals[unsigned(obs::TimeSeries::Series::Migrations)];
+    totals["dca_accesses"] =
+        ts.totals[unsigned(obs::TimeSeries::Series::DcaAccesses)];
+    totals["shootdowns"] =
+        ts.totals[unsigned(obs::TimeSeries::Series::Shootdowns)];
+    totals["faults"] =
+        ts.totals[unsigned(obs::TimeSeries::Series::Faults)];
+    v["totals"] = std::move(totals);
+    obs::json::Value pk = obs::json::Value::object();
+    pk["migrations"] =
+        peak[unsigned(obs::TimeSeries::Series::Migrations)];
+    pk["dca_accesses"] =
+        peak[unsigned(obs::TimeSeries::Series::DcaAccesses)];
+    pk["shootdowns"] =
+        peak[unsigned(obs::TimeSeries::Series::Shootdowns)];
+    pk["faults"] = peak[unsigned(obs::TimeSeries::Series::Faults)];
+    v["peak"] = std::move(pk);
+    return v;
+}
+
+} // namespace
+
 obs::json::Value
 runReportJson(const std::string &label, const SystemConfig &config,
               const RunResult &result, const obs::Sampler *sampler)
@@ -248,6 +350,13 @@ runReportJson(const std::string &label, const SystemConfig &config,
     fb["stages"] = std::move(stages);
     v["fault_breakdown"] = std::move(fb);
 
+    // Telemetry sections are emitted only when their recorder ran, so
+    // reports from `--page-stats`-off runs keep their exact old shape.
+    if (result.pageStats.enabled)
+        v["page_stats"] = pageStatsJson(result.pageStats);
+    if (result.timeseries.tick > 0)
+        v["timeseries"] = timeseriesJson(result.timeseries);
+
     if (sampler) {
         obs::json::Value s = obs::json::Value::object();
         s["period"] = std::uint64_t(sampler->period());
@@ -269,6 +378,15 @@ runReportJson(const std::string &label, const SystemConfig &config,
     }
 
     return v;
+}
+
+obs::json::Value
+reportDocument(obs::json::Value runs)
+{
+    obs::json::Value doc = obs::json::Value::object();
+    doc["schema_version"] = reportSchemaVersion;
+    doc["runs"] = std::move(runs);
+    return doc;
 }
 
 std::string

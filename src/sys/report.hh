@@ -78,6 +78,17 @@ std::string asciiBar(double value, double max_value, int width = 40);
 /** @name JSON run report @{ */
 
 /**
+ * The report document schema version, bumped whenever the shape of a
+ * run report changes incompatibly. Version history:
+ *  - (absent) = 1: the original {runs: [...]} document.
+ *  - 2: adds the document-level schema_version field and the optional
+ *    per-run page_stats / timeseries sections.
+ * Consumers (sys::compare, griffin-compare, griffin-pages) warn — not
+ * fail — on a version they do not know.
+ */
+inline constexpr std::uint64_t reportSchemaVersion = 2;
+
+/**
  * One histogram as JSON: {count, mean, min, max, p50, p95, p99,
  * bucketWidth, buckets}. Buckets are emitted sparsely as
  * [[index, count], ...] so idle histograms stay tiny.
@@ -96,6 +107,13 @@ obs::json::Value runReportJson(const std::string &label,
                                const SystemConfig &config,
                                const RunResult &result,
                                const obs::Sampler *sampler = nullptr);
+
+/**
+ * The top-level report document wrapping @p runs:
+ * {schema_version, runs}. Every report writer should go through this
+ * so the version stamp cannot be forgotten.
+ */
+obs::json::Value reportDocument(obs::json::Value runs);
 
 /** @} */
 

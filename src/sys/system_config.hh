@@ -17,6 +17,7 @@
 #include "src/interconnect/switch.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/dram.hh"
+#include "src/obs/pagestats.hh"
 #include "src/sim/types.hh"
 #include "src/sys/chaos.hh"
 #include "src/xlat/iommu.hh"
@@ -73,6 +74,21 @@ struct SystemConfig
      * runs the periodic invariant auditor.
      */
     ChaosConfig chaos{};
+
+    /**
+     * Per-page lifecycle telemetry (off by default). When enabled the
+     * system builds an obs::PageStats recorder and the run report
+     * gains a "page_stats" section; when off, nothing is recorded and
+     * report bytes are unchanged.
+     */
+    obs::PageStatsConfig pageStats{};
+
+    /**
+     * Interval time-series width in cycles; 0 = off. When nonzero the
+     * system builds an obs::TimeSeries recorder and the run report
+     * gains a "timeseries" section.
+     */
+    Tick timeseriesTick = 0;
 
     std::uint64_t seed = 42;
 

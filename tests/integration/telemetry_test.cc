@@ -1,0 +1,286 @@
+/**
+ * @file
+ * End-to-end telemetry tests: a full Griffin run with --page-stats
+ * and --timeseries semantics enabled reconciles its per-interval sums
+ * against the run-level aggregates, reports zero churn on a workload
+ * without ping-pong, and stays bit-identical when telemetry is off;
+ * a crafted ping-pong migration sequence through the real executor
+ * fires the churn detector; the JSON report carries both sections.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/acud.hh"
+#include "src/core/migration_policy.hh"
+#include "src/gpu/gpu.hh"
+#include "src/obs/json.hh"
+#include "src/obs/pagestats.hh"
+#include "src/sim/engine.hh"
+#include "src/sys/multi_gpu_system.hh"
+#include "src/sys/report.hh"
+#include "src/workloads/workload.hh"
+
+using namespace griffin;
+
+namespace {
+
+/** One MT run with both telemetry recorders on. */
+sys::RunResult
+runInstrumented(Tick timeseries_tick = 20000)
+{
+    wl::WorkloadConfig wcfg;
+    wcfg.scaleDiv = 64;
+    wcfg.seed = 42;
+    auto workload = wl::makeWorkload("MT", wcfg);
+    sys::SystemConfig scfg = sys::SystemConfig::griffinDefault();
+    scfg.pageStats.enabled = true;
+    scfg.timeseriesTick = timeseries_tick;
+    sys::MultiGpuSystem system(scfg);
+    return system.run(*workload);
+}
+
+} // namespace
+
+TEST(Telemetry, IntervalSumsReconcileWithRunAggregates)
+{
+    const sys::RunResult r = runInstrumented();
+    ASSERT_TRUE(r.pageStats.enabled);
+    ASSERT_GT(r.timeseries.tick, 0u);
+    ASSERT_FALSE(r.timeseries.rows.empty());
+
+    // Sum every interval; the counting sites are the same statements
+    // that bump the aggregates, so these must match exactly.
+    std::uint64_t migrations = 0, dca = 0, shootdowns = 0, faults = 0;
+    for (const auto &row : r.timeseries.rows) {
+        using S = obs::TimeSeries::Series;
+        migrations += row.counts[unsigned(S::Migrations)];
+        dca += row.counts[unsigned(S::DcaAccesses)];
+        shootdowns += row.counts[unsigned(S::Shootdowns)];
+        faults += row.counts[unsigned(S::Faults)];
+    }
+    EXPECT_EQ(migrations,
+              std::uint64_t(r.stats.get("pageTable.migrations")));
+    EXPECT_EQ(dca, r.remoteAccesses);
+    EXPECT_EQ(shootdowns, r.cpuShootdowns + r.gpuShootdowns);
+    EXPECT_EQ(faults, std::uint64_t(r.latency.faultLatency.count()));
+
+    // The summary's own totals agree with the row sums too.
+    using S = obs::TimeSeries::Series;
+    EXPECT_EQ(r.timeseries.totals[unsigned(S::Migrations)], migrations);
+    EXPECT_EQ(r.timeseries.totals[unsigned(S::Faults)], faults);
+
+    // Page-stats commits are recorded at the same commit point.
+    EXPECT_EQ(r.pageStats.totalMigrations, migrations);
+    EXPECT_EQ(
+        r.pageStats.events[unsigned(obs::PageEvent::MigrationCommit)],
+        migrations);
+}
+
+TEST(Telemetry, MtReportsZeroChurn)
+{
+    // MT partitions cleanly across the GPUs: pages migrate out once
+    // and never ping-pong back.
+    const sys::RunResult r = runInstrumented();
+    EXPECT_GT(r.pageStats.totalMigrations, 0u);
+    EXPECT_EQ(r.pageStats.churnEvents, 0u);
+    EXPECT_EQ(r.pageStats.churnPages, 0u);
+    EXPECT_TRUE(r.pageStats.thrashingPages.empty());
+}
+
+TEST(Telemetry, DisabledTelemetryChangesNothing)
+{
+    wl::WorkloadConfig wcfg;
+    wcfg.scaleDiv = 64;
+    wcfg.seed = 42;
+
+    auto w1 = wl::makeWorkload("MT", wcfg);
+    sys::MultiGpuSystem plain(sys::SystemConfig::griffinDefault());
+    const sys::RunResult off = plain.run(*w1);
+
+    const sys::RunResult on = runInstrumented();
+
+    // Telemetry must be an observer: identical timing and counters.
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.pagesPerDevice, on.pagesPerDevice);
+    EXPECT_EQ(off.remoteAccesses, on.remoteAccesses);
+    EXPECT_EQ(off.cpuShootdowns, on.cpuShootdowns);
+    EXPECT_EQ(off.gpuShootdowns, on.gpuShootdowns);
+
+    // And the off-run carries no telemetry sections.
+    EXPECT_FALSE(off.pageStats.enabled);
+    EXPECT_EQ(off.timeseries.tick, 0u);
+    const auto report = sys::runReportJson(
+        "MT/griffin", sys::SystemConfig::griffinDefault(), off);
+    EXPECT_EQ(report.find("page_stats"), nullptr);
+    EXPECT_EQ(report.find("timeseries"), nullptr);
+}
+
+TEST(Telemetry, ReportCarriesPageStatsAndTimeseriesSections)
+{
+    const sys::RunResult r = runInstrumented();
+    sys::SystemConfig scfg = sys::SystemConfig::griffinDefault();
+    scfg.pageStats.enabled = true;
+    scfg.timeseriesTick = 20000;
+    const auto report = sys::runReportJson("MT/griffin", scfg, r);
+
+    const obs::json::Value *ps = report.find("page_stats");
+    ASSERT_NE(ps, nullptr);
+    ASSERT_NE(ps->find("events"), nullptr);
+    EXPECT_DOUBLE_EQ(ps->find("total_migrations")->asNumber(),
+                     double(r.pageStats.totalMigrations));
+    EXPECT_DOUBLE_EQ(ps->find("churn_events")->asNumber(), 0.0);
+    ASSERT_NE(ps->find("hot_pages"), nullptr);
+    EXPECT_GT(ps->find("hot_pages")->size(), 0u);
+
+    const obs::json::Value *ts = report.find("timeseries");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_DOUBLE_EQ(ts->find("tick")->asNumber(), 20000.0);
+    EXPECT_EQ(ts->find("rows")->size(), r.timeseries.rows.size());
+    ASSERT_NE(ts->find("totals"), nullptr);
+    ASSERT_NE(ts->find("peak"), nullptr);
+
+    // The document wrapper stamps the schema version.
+    obs::json::Value runs = obs::json::Value::array();
+    const auto doc = sys::reportDocument(std::move(runs));
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.find("schema_version")->asNumber(),
+                     double(sys::reportSchemaVersion));
+
+    // The whole report round-trips through the JSON parser.
+    const auto parsed = obs::json::Value::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(
+        parsed->find("page_stats")->find("total_migrations")->asNumber(),
+        double(r.pageStats.totalMigrations));
+}
+
+// --- Crafted ping-pong through the real migration executor ---------
+
+namespace {
+
+class NeverMigratePolicy : public core::MigrationPolicy
+{
+  public:
+    std::string name() const override { return "never"; }
+    core::CpuAccessDecision
+    onCpuResidentAccess(DeviceId, PageId, mem::PageTable &) override
+    {
+        return core::CpuAccessDecision{false};
+    }
+};
+
+class NullHandler : public xlat::FaultHandler
+{
+  public:
+    void onPageFault(DeviceId, PageId, FaultId = invalidFaultId) override {}
+};
+
+class NullRouter : public gpu::RemoteRouter
+{
+  public:
+    explicit NullRouter(sim::Engine &engine) : _engine(engine) {}
+    void
+    remoteAccess(DeviceId, DeviceId, Addr, bool,
+                 sim::EventFn done) override
+    {
+        _engine.schedule(10, std::move(done));
+    }
+
+  private:
+    sim::Engine &_engine;
+};
+
+struct PingPongRig
+{
+    sim::Engine engine;
+    mem::PageTable pt{12, 5};
+    ic::Network net{engine, 5, ic::LinkConfig{32.0, 10}};
+    xlat::Iommu iommu{engine, net, pt, xlat::IommuConfig{}};
+    NeverMigratePolicy policy;
+    NullHandler handler;
+    NullRouter router{engine};
+    std::vector<std::unique_ptr<gpu::Gpu>> gpus;
+    std::vector<gpu::Gpu *> gpu_ptrs;
+    mem::Dram cpuDram{mem::DramConfig{}};
+    std::vector<std::unique_ptr<gpu::Pmc>> pmcs;
+    std::vector<gpu::Pmc *> pmc_ptrs;
+    std::unique_ptr<core::MigrationExecutor> executor;
+
+    PingPongRig()
+    {
+        iommu.setPolicy(&policy);
+        iommu.setFaultHandler(&handler);
+        gpu::GpuConfig cfg;
+        cfg.numSes = 1;
+        cfg.cusPerSe = 2;
+        std::vector<mem::Dram *> drams{&cpuDram};
+        for (DeviceId id = 1; id <= 4; ++id) {
+            gpus.push_back(std::make_unique<gpu::Gpu>(
+                engine, id, cfg, net, iommu, router));
+            gpu_ptrs.push_back(gpus.back().get());
+            drams.push_back(&gpus.back()->dram());
+        }
+        for (DeviceId dev = 0; dev <= 4; ++dev) {
+            pmcs.push_back(std::make_unique<gpu::Pmc>(
+                engine, net, dev, drams, 4096));
+            pmc_ptrs.push_back(pmcs.back().get());
+        }
+        executor = std::make_unique<core::MigrationExecutor>(
+            engine, net, pt, iommu, gpu_ptrs, pmc_ptrs, true);
+    }
+
+    core::MigrationBatch
+    batchOf(std::vector<PageId> pages, DeviceId from, DeviceId to)
+    {
+        core::MigrationBatch batch;
+        batch.source = from;
+        for (const PageId p : pages) {
+            if (pt.locationOf(p) != from)
+                pt.setLocation(p, from);
+            batch.moves.push_back(core::MigrationCandidate{
+                p, from, to, core::PageClass::Shared, 1.0});
+        }
+        return batch;
+    }
+};
+
+} // namespace
+
+TEST(Telemetry, PingPongWorkloadFiresTheChurnDetector)
+{
+    PingPongRig rig;
+    obs::PageStats ps;
+    ps.setClock(&rig.engine);
+    ps.attach();
+
+    // Seed pages 10..12 on GPU1 (these CPU->GPU1 setLocation calls
+    // commit but cannot churn: nothing has left GPU1 yet), then drive
+    // GPU1 -> GPU2 -> GPU1 through the real ACUD executor.
+    auto out = rig.batchOf({10, 11, 12}, 1, 2);
+    rig.executor->executeBatch(out, [&rig] {
+        auto back = rig.batchOf({10, 11, 12}, 2, 1);
+        rig.executor->executeBatch(back, [] {});
+    });
+    rig.engine.run();
+    ps.detach();
+
+    // Each page returned to GPU1 shortly after leaving it: 3 churn
+    // events, and the full lifecycle was witnessed.
+    EXPECT_EQ(ps.churnEvents(), 3u);
+    for (PageId p : {10, 11, 12}) {
+        EXPECT_EQ(rig.pt.locationOf(p), 1u);
+        EXPECT_EQ(ps.migrationsOf(p), 3u); // seed + out + back
+        EXPECT_EQ(ps.churnOf(p), 1u);
+    }
+    EXPECT_GE(ps.eventCount(obs::PageEvent::MigrationStart), 6u);
+    EXPECT_GE(ps.eventCount(obs::PageEvent::Shootdown), 6u);
+
+    const obs::PageStatsSummary s = ps.summary();
+    EXPECT_EQ(s.churnPages, 3u);
+    ASSERT_EQ(s.thrashingPages.size(), 3u);
+    EXPECT_EQ(s.thrashingPages[0].page, 10u);
+}

@@ -91,6 +91,38 @@ TEST(Sampler, CsvHasHeaderAndOneLinePerRow)
     EXPECT_EQ(lines, 3u);
 }
 
+TEST(Sampler, StopFlushesTheFinalPartialInterval)
+{
+    Engine e;
+    Sampler s;
+    s.add("const", [] { return 1.0; });
+    s.start(e, 100);
+    e.schedule(350, [] {});
+    e.run();
+    s.stop();
+    // Boundary rows 0, 100, 200, 300 plus the final partial row the
+    // stop() takes at the end time: nothing after the last boundary
+    // is dropped.
+    ASSERT_EQ(s.rows().size(), 5u);
+    EXPECT_EQ(s.rows()[3].tick, 300u);
+    EXPECT_EQ(s.rows()[4].tick, 350u);
+}
+
+TEST(Sampler, StopAtABoundaryDoesNotDuplicateTheLastRow)
+{
+    Engine e;
+    Sampler s;
+    s.add("const", [] { return 1.0; });
+    s.start(e, 100);
+    e.schedule(300, [] {});
+    e.run();
+    s.stop();
+    // The run ended exactly on boundary 300, which already sampled:
+    // the stop() flush must not record tick 300 twice.
+    ASSERT_EQ(s.rows().size(), 4u);
+    EXPECT_EQ(s.rows()[3].tick, 300u);
+}
+
 TEST(Sampler, MultipleSamplersCoexist)
 {
     Engine e;

@@ -12,6 +12,7 @@
 
 #include "src/obs/json.hh"
 #include "src/sys/compare.hh"
+#include "src/sys/report.hh"
 
 using namespace griffin;
 using obs::json::Value;
@@ -99,6 +100,22 @@ TEST(ResolveMetricPath, AliasesAndPassThrough)
     // Unknown names pass through verbatim.
     EXPECT_EQ(sys::resolveMetricPath("counters.iommu.walks"),
               "counters.iommu.walks");
+}
+
+TEST(ResolveMetricPath, PageAnalyticsAliases)
+{
+    EXPECT_EQ(sys::resolveMetricPath("churn"),
+              "page_stats.churn_events");
+    EXPECT_EQ(sys::resolveMetricPath("churn_pages"),
+              "page_stats.churn_pages");
+    EXPECT_EQ(sys::resolveMetricPath("pages_migrated"),
+              "page_stats.pages_migrated");
+    EXPECT_EQ(sys::resolveMetricPath("reuse_p95"),
+              "page_stats.reuse_distance.p95");
+    EXPECT_EQ(sys::resolveMetricPath("peak_migrations"),
+              "timeseries.peak.migrations");
+    EXPECT_EQ(sys::resolveMetricPath("peak_shootdowns"),
+              "timeseries.peak.shootdowns");
 }
 
 TEST(LookupMetric, DescendsAndFallsBackToLiteralKeys)
@@ -239,6 +256,40 @@ TEST(CompareReports, UnthresholdedDriftIsInformational)
             EXPECT_NEAR(d.deltaPct, 50.0, 1e-9);
         }
     EXPECT_TRUE(saw_walks);
+}
+
+TEST(CompareReports, SchemaVersionMismatchWarnsButDoesNotFail)
+{
+    // A document without schema_version is a version-1 report: older
+    // reference files must keep gating runs, so the skew is surfaced
+    // as a warning, never as a failure.
+    const Value ref = makeReport(1000.0, 5000.0); // no schema_version
+    Value cur = makeReport(1000.0, 5000.0);
+    cur["schema_version"] = double(sys::reportSchemaVersion);
+
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_TRUE(res.pass);
+    EXPECT_FALSE(res.fatal);
+    ASSERT_FALSE(res.warnings.empty());
+    EXPECT_NE(res.warnings[0].find("schema_version"), std::string::npos);
+
+    // The verdict JSON carries the warnings for CI consumers.
+    const Value verdict = res.verdictJson();
+    ASSERT_NE(verdict.find("warnings"), nullptr);
+    EXPECT_EQ(verdict.find("warnings")->size(), res.warnings.size());
+}
+
+TEST(CompareReports, MatchingSchemaVersionsProduceNoWarning)
+{
+    Value ref = makeReport(1000.0, 5000.0);
+    ref["schema_version"] = double(sys::reportSchemaVersion);
+    Value cur = makeReport(1000.0, 5000.0);
+    cur["schema_version"] = double(sys::reportSchemaVersion);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_TRUE(res.pass);
+    EXPECT_TRUE(res.warnings.empty());
 }
 
 TEST(CompareReports, VerdictJsonShape)

@@ -229,7 +229,11 @@ TEST(RunReportJson, SamplerRowsAreEmbedded)
     ASSERT_NE(samples, nullptr);
     EXPECT_DOUBLE_EQ(samples->find("period")->asNumber(), 100.0);
     ASSERT_EQ(samples->find("columns")->size(), 2u); // tick + probe
-    ASSERT_EQ(samples->find("rows")->size(), 3u);    // 0, 100, 200
+    // Boundaries 0, 100, 200 plus the final partial row stop() takes
+    // at the end time (250).
+    ASSERT_EQ(samples->find("rows")->size(), 4u);
+    EXPECT_DOUBLE_EQ(samples->find("rows")->at(3).at(0).asNumber(),
+                     250.0);
     EXPECT_DOUBLE_EQ(samples->find("rows")->at(1).at(0).asNumber(),
                      100.0);
     EXPECT_DOUBLE_EQ(samples->find("rows")->at(1).at(1).asNumber(),
@@ -238,6 +242,117 @@ TEST(RunReportJson, SamplerRowsAreEmbedded)
     const auto bare =
         runReportJson("s", SystemConfig::baseline(), r);
     EXPECT_EQ(bare.find("samples"), nullptr);
+}
+
+TEST(RunReportJson, PageStatsSectionAppearsOnlyWhenEnabled)
+{
+    RunResult r = sampleResult();
+    const auto off =
+        runReportJson("off", SystemConfig::baseline(), r);
+    EXPECT_EQ(off.find("page_stats"), nullptr);
+    EXPECT_EQ(off.find("timeseries"), nullptr);
+
+    r.pageStats.enabled = true;
+    r.pageStats.churnWindow = 500;
+    r.pageStats.topN = 4;
+    r.pageStats.events[unsigned(obs::PageEvent::MigrationCommit)] = 9;
+    r.pageStats.pagesTracked = 3;
+    r.pageStats.pagesMigrated = 2;
+    r.pageStats.totalMigrations = 9;
+    r.pageStats.churnEvents = 1;
+    r.pageStats.churnPages = 1;
+    r.pageStats.maxMigrationsOnePage = 5;
+    obs::PageStatsSummary::TopPage tp;
+    tp.page = 42;
+    tp.migrations = 5;
+    tp.churn = 1;
+    tp.lastLocation = 2;
+    tp.residency = {{0, 0}, {100, 1}, {200, 2}};
+    r.pageStats.hotPages.push_back(tp);
+    r.pageStats.thrashingPages.push_back(tp);
+
+    const auto report =
+        runReportJson("on", SystemConfig::griffinDefault(), r);
+    const auto parsed = obs::json::Value::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    const auto *ps = parsed->find("page_stats");
+    ASSERT_NE(ps, nullptr);
+    EXPECT_DOUBLE_EQ(ps->find("churn_window")->asNumber(), 500.0);
+    EXPECT_DOUBLE_EQ(
+        ps->find("events")->find("migration_commit")->asNumber(), 9.0);
+    EXPECT_DOUBLE_EQ(ps->find("pages_tracked")->asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(ps->find("churn_events")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(ps->find("max_migrations_one_page")->asNumber(),
+                     5.0);
+    const auto *hot = ps->find("hot_pages");
+    ASSERT_NE(hot, nullptr);
+    ASSERT_EQ(hot->size(), 1u);
+    EXPECT_DOUBLE_EQ(hot->at(0).find("page")->asNumber(), 42.0);
+    // Residency serializes as [tick, device] pairs.
+    const auto *res = hot->at(0).find("residency");
+    ASSERT_NE(res, nullptr);
+    ASSERT_EQ(res->size(), 3u);
+    EXPECT_DOUBLE_EQ(res->at(1).at(0).asNumber(), 100.0);
+    EXPECT_DOUBLE_EQ(res->at(1).at(1).asNumber(), 1.0);
+}
+
+TEST(RunReportJson, TimeseriesSectionRoundTrips)
+{
+    RunResult r = sampleResult();
+    r.timeseries.tick = 100;
+    using S = obs::TimeSeries::Series;
+    obs::TimeSeries::Row row;
+    row.begin = 0;
+    row.end = 100;
+    row.counts[unsigned(S::Migrations)] = 4;
+    row.counts[unsigned(S::Faults)] = 2;
+    row.faultP50 = 11.0;
+    row.faultP95 = 19.0;
+    row.linkUtil = 0.25;
+    r.timeseries.rows.push_back(row);
+    row.begin = 100;
+    row.end = 150;
+    row.counts[unsigned(S::Migrations)] = 1;
+    r.timeseries.rows.push_back(row);
+    r.timeseries.totals[unsigned(S::Migrations)] = 5;
+    r.timeseries.totals[unsigned(S::Faults)] = 4;
+
+    const auto report =
+        runReportJson("ts", SystemConfig::griffinDefault(), r);
+    const auto parsed = obs::json::Value::parse(report.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    const auto *ts = parsed->find("timeseries");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_DOUBLE_EQ(ts->find("tick")->asNumber(), 100.0);
+    // Rows are flat arrays matching the declared column order.
+    ASSERT_EQ(ts->find("columns")->size(), 9u);
+    EXPECT_EQ(ts->find("columns")->at(2).asString(), "migrations");
+    ASSERT_EQ(ts->find("rows")->size(), 2u);
+    EXPECT_DOUBLE_EQ(ts->find("rows")->at(0).at(2).asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(ts->find("rows")->at(0).at(8).asNumber(), 0.25);
+    EXPECT_DOUBLE_EQ(
+        ts->find("totals")->find("migrations")->asNumber(), 5.0);
+    // Peak is the per-interval maximum, computed at serialization.
+    EXPECT_DOUBLE_EQ(
+        ts->find("peak")->find("migrations")->asNumber(), 4.0);
+}
+
+TEST(ReportDocument, StampsTheSchemaVersion)
+{
+    obs::json::Value runs = obs::json::Value::array();
+    runs.push(runReportJson("a", SystemConfig::baseline(),
+                            sampleResult()));
+    const auto doc = reportDocument(std::move(runs));
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.find("schema_version")->asNumber(),
+                     double(reportSchemaVersion));
+    ASSERT_NE(doc.find("runs"), nullptr);
+    EXPECT_EQ(doc.find("runs")->size(), 1u);
+    // schema_version leads so diffs and humans see it first.
+    const std::string text = doc.dump(2);
+    EXPECT_LT(text.find("schema_version"), text.find("runs"));
 }
 
 TEST(RunReportJson, FaultBreakdownRoundTrips)

@@ -135,6 +135,47 @@ TEST(SweepRunner, ChaosSweepIsByteIdenticalAcrossJobCounts)
     }
 }
 
+TEST(SweepRunner, TelemetrySweepIsByteIdenticalAcrossJobCounts)
+{
+    // Page-stats and time-series recorders are thread_local sinks
+    // attached per run, so an instrumented sweep must serialize to
+    // byte-identical reports whether it runs on 1 worker or 8 — the
+    // property `--page-stats --timeseries=N --jobs=8` depends on.
+    auto runInstrumentedGrid = [](unsigned workers) {
+        SweepRunner runner(workers);
+        for (auto &job : gridJobs()) {
+            job.config.pageStats.enabled = true;
+            job.config.timeseriesTick = 50000;
+            runner.submit(std::move(job));
+        }
+        return runner.run();
+    };
+
+    const auto serial = runInstrumentedGrid(1);
+    const auto parallel = runInstrumentedGrid(8);
+    auto jobs = gridJobs();
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        jobs[i].config.pageStats.enabled = true;
+        jobs[i].config.timeseriesTick = 50000;
+        ASSERT_TRUE(serial[i].pageStats.enabled);
+        EXPECT_EQ(serial[i].pageStats.totalMigrations,
+                  parallel[i].pageStats.totalMigrations);
+        EXPECT_EQ(serial[i].pageStats.churnEvents,
+                  parallel[i].pageStats.churnEvents);
+        EXPECT_EQ(serial[i].timeseries.rows.size(),
+                  parallel[i].timeseries.rows.size());
+        // The full serialized report, page_stats and timeseries
+        // sections included, byte for byte.
+        EXPECT_EQ(
+            sys::runReportJson(jobs[i].label, jobs[i].config,
+                               serial[i]).dump(2),
+            sys::runReportJson(jobs[i].label, jobs[i].config,
+                               parallel[i]).dump(2));
+    }
+}
+
 TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
 {
     // Labels ride along through pre/postRun hooks; results land at the

@@ -122,6 +122,8 @@ main(int argc, char **argv)
     if (!quiet) {
         for (const std::string &e : result.errors)
             std::cout << "ERROR  " << e << "\n";
+        for (const std::string &w : result.warnings)
+            std::cout << "WARN   " << w << "\n";
         for (const auto &c : result.checks) {
             if (!c.note.empty()) {
                 std::printf("FAIL   %-24s %-14s %s\n", c.run.c_str(),
