@@ -21,6 +21,17 @@
  *                   section to each report run (src/obs/pagestats.hh)
  *   --timeseries=N  event time-series with N-cycle intervals; adds a
  *                   "timeseries" section to each report run (0 = off)
+ *   --host-prof[=FILE]  host-side self-profiling: attributes the
+ *                   simulator's wall-clock time per component/event
+ *                   type, adds a "host_profile" section to each report
+ *                   run, and (with =FILE) writes the sweep-aggregated
+ *                   folded stacks for flamegraph/speedscope
+ *   --host-gate=N   warn (never fail) when the sweep dispatched fewer
+ *                   than N events/sec of host wall time; implies
+ *                   --host-prof
+ *   --progress      one-line sweep progress on stderr (done/total,
+ *                   elapsed, ETA); auto-suppressed when stderr is not
+ *                   a terminal
  *   --log=LEVEL     stderr log level: error|warn|info|trace
  *                   (log lines carry a [tick] prefix while a system runs)
  *
@@ -42,8 +53,11 @@
 #ifndef GRIFFIN_BENCH_COMMON_HH
 #define GRIFFIN_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -53,6 +67,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/obs/sampler.hh"
 #include "src/obs/trace.hh"
@@ -85,6 +101,18 @@ struct Options
     bool pageStats = false;
     /** Event time-series interval width (--timeseries=N; 0 = off). */
     Tick timeseriesTick = 0;
+    /** Host-side self-profiling (--host-prof[=FILE]). */
+    bool hostProf = false;
+    /** Folded-stack output path (--host-prof=FILE; empty = none). */
+    std::string hostProfFile;
+    /** Sweep progress line on stderr (--progress). */
+    bool progress = false;
+    /**
+     * Soft host-throughput floor in dispatched events/sec
+     * (--host-gate=N; 0 = off). Falling below it prints a WARNING but
+     * never changes the exit code: host time is machine-dependent.
+     */
+    std::uint64_t hostGateEventsPerSec = 0;
     /** @} */
 
     /** Fault injection, set by --chaos / --chaos-seed. */
@@ -158,6 +186,17 @@ struct Options
             } else if (arg.rfind("--timeseries=", 0) == 0) {
                 opt.timeseriesTick = Tick(parseNum(
                     arg, 13, "--timeseries", 0, std::uint64_t(-1)));
+            } else if (arg == "--host-prof") {
+                opt.hostProf = true;
+            } else if (arg.rfind("--host-prof=", 0) == 0) {
+                opt.hostProf = true;
+                opt.hostProfFile = arg.substr(12);
+            } else if (arg == "--progress") {
+                opt.progress = true;
+            } else if (arg.rfind("--host-gate=", 0) == 0) {
+                opt.hostGateEventsPerSec = parseNum(
+                    arg, 12, "--host-gate", 1, std::uint64_t(-1));
+                opt.hostProf = true; // the gate needs the profiler
             } else if (arg.rfind("--chaos=", 0) == 0) {
                 chaos_spec = arg.substr(8);
             } else if (arg.rfind("--chaos-seed=", 0) == 0) {
@@ -182,7 +221,8 @@ struct Options
                              " --trace=FILE [--trace-all]"
                              " --report=FILE --samples=FILE"
                              " --sample=N --page-stats --timeseries=N"
-                             " --log=LEVEL"
+                             " --host-prof[=FILE] --host-gate=N"
+                             " --progress --log=LEVEL"
                              " --chaos=SPEC --chaos-seed=N\n";
                 if (notes)
                     std::cout << "note: " << notes << "\n";
@@ -253,6 +293,7 @@ class ObsState
     explicit ObsState(const Options &opt)
         : _traceFile(opt.traceFile), _reportFile(opt.reportFile),
           _samplesFile(opt.samplesFile),
+          _hostProfFile(opt.hostProfFile),
           _categories(opt.traceAllCategories ? obs::allCategories
                                              : obs::defaultCategories)
     {
@@ -297,6 +338,26 @@ class ObsState
                 std::cerr << "samples: " << _samplesFile << "\n";
             }
         }
+        if (!_hostProfFile.empty()) {
+            // Sweep-level profile: merge per-run profiles in slot
+            // (= submission) order so bucket ordering is deterministic
+            // regardless of completion order.
+            obs::HostProfile total;
+            for (const Slot &slot : _slots) {
+                if (slot.hostProfile.enabled)
+                    total.merge(slot.hostProfile);
+            }
+            if (!total.enabled) {
+                std::cerr << "host-prof: no runs were profiled, not "
+                          << "writing " << _hostProfFile << "\n";
+            } else {
+                std::ofstream os(_hostProfFile);
+                os << total.folded();
+                std::cerr << "host-prof: " << _hostProfFile << " ("
+                          << total.buckets.size() << " buckets, "
+                          << total.events << " dispatches)\n";
+            }
+        }
     }
 
     bool tracing() const { return !_traceFile.empty(); }
@@ -329,6 +390,8 @@ class ObsState
         }
         if (!_samplesFile.empty() && sampler)
             s.samplesCsv = "# " + label + "\n" + sampler->csv();
+        if (result.hostProfile.enabled)
+            s.hostProfile = result.hostProfile;
         s.trace = std::move(trace);
     }
 
@@ -338,10 +401,11 @@ class ObsState
         obs::json::Value report;
         bool hasReport = false;
         std::string samplesCsv;
+        obs::HostProfile hostProfile;
         std::shared_ptr<obs::TraceSession> trace;
     };
 
-    std::string _traceFile, _reportFile, _samplesFile;
+    std::string _traceFile, _reportFile, _samplesFile, _hostProfFile;
     std::uint32_t _categories;
 
     std::mutex _mu;
@@ -427,6 +491,8 @@ class Sweep
             job.config.pageStats.enabled = true;
         if (_opt.timeseriesTick > 0)
             job.config.timeseriesTick = _opt.timeseriesTick;
+        if (_opt.hostProf)
+            job.config.hostProf = true;
         job.makeWorkload = [name, wcfg = _opt.workloadConfig()] {
             return wl::makeWorkload(name, wcfg);
         };
@@ -459,6 +525,30 @@ class Sweep
     std::vector<sys::RunResult>
     run()
     {
+        // Progress is stderr-only UI, never part of the deterministic
+        // output contract — and it stays silent when stderr is a pipe
+        // so redirected logs don't fill with \r-rewritten lines.
+        if (_opt.progress && isatty(fileno(stderr))) {
+            const auto start = std::chrono::steady_clock::now();
+            _runner.setProgress([start](std::size_t done,
+                                        std::size_t total) {
+                using namespace std::chrono;
+                const double elapsed =
+                    duration<double>(steady_clock::now() - start)
+                        .count();
+                const double eta =
+                    done > 0 ? elapsed * double(total - done) /
+                                   double(done)
+                             : 0.0;
+                std::fprintf(stderr,
+                             "\rsweep: %zu/%zu runs  %.1fs elapsed"
+                             "  ~%.1fs left ",
+                             done, total, elapsed, eta);
+                if (done == total)
+                    std::fputc('\n', stderr);
+                std::fflush(stderr);
+            });
+        }
         return _runner.run();
     }
 
@@ -492,6 +582,55 @@ emit(const sys::Table &table, const Options &opt)
     std::cout << table.str() << "\n";
     if (opt.csv)
         std::cout << "CSV:\n" << table.csv() << "\n";
+}
+
+/**
+ * After a profiled sweep: print the aggregated host-time summary to
+ * stderr (host wall times are machine-dependent, so they stay out of
+ * the deterministic stdout contract) and evaluate the --host-gate
+ * floor. The gate only warns — the exit code never changes.
+ */
+inline void
+emitHostSummary(const std::vector<sys::RunResult> &results,
+                const Options &opt)
+{
+    if (!opt.hostProf)
+        return;
+    const obs::HostProfile total =
+        sys::SweepRunner::aggregateHostProfiles(results);
+    if (!total.enabled)
+        return;
+    std::ostringstream os;
+    os << "host-prof: " << total.events << " dispatches, "
+       << sys::Table::num(total.eventsPerSec() / 1e6, 2)
+       << "M events/sec, "
+       << sys::Table::num(total.attributedFraction() * 100.0, 1)
+       << "% attributed, "
+       << sys::Table::num(total.obsFraction() * 100.0, 1)
+       << "% telemetry overhead\n";
+    std::vector<obs::HostProfile::Bucket> top = total.buckets;
+    std::sort(top.begin(), top.end(),
+              [](const auto &a, const auto &b) {
+                  return a.selfNs != b.selfNs ? a.selfNs > b.selfNs
+                                              : a.name() < b.name();
+              });
+    if (top.size() > 5)
+        top.resize(5);
+    std::size_t shown = 0;
+    for (const auto &b : top) {
+        os << "  top" << ++shown << ": " << b.name() << "  "
+           << sys::Table::num(double(b.selfNs) / 1e6, 1) << " ms ("
+           << b.count << " events)\n";
+    }
+    std::cerr << os.str();
+    if (opt.hostGateEventsPerSec > 0 &&
+        total.eventsPerSec() < double(opt.hostGateEventsPerSec)) {
+        std::cerr << "WARNING: host throughput "
+                  << sys::Table::num(total.eventsPerSec(), 0)
+                  << " events/sec below --host-gate="
+                  << opt.hostGateEventsPerSec
+                  << " (soft gate: warning only)\n";
+    }
 }
 
 } // namespace griffin::bench

@@ -29,7 +29,9 @@ main(int argc, char **argv)
         argc, argv,
         "perf_gate pins --scale=64 --seed=42 --sample=0 (the committed "
         "BENCH_*.json references depend on them); --workload selects "
-        "from the gate set {MT, BFS, SC}");
+        "from the gate set {MT, BFS, SC}; --host-prof/--host-gate=N "
+        "add a host-time summary on stderr without touching the "
+        "deterministic stdout/report bytes");
 
     // Pin everything that shapes the numbers. CI runs must match the
     // committed references bit for bit when nothing changed.
@@ -81,5 +83,6 @@ main(int argc, char **argv)
     std::cout << "(pinned gate config: scale=64 seed=42; compare the "
                  "--report output against BENCH_*.json with "
                  "griffin-compare)\n";
+    bench::emitHostSummary(results, opt);
     return 0;
 }

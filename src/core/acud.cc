@@ -1,5 +1,7 @@
 #include "src/core/acud.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <memory>
@@ -119,6 +121,7 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
             state->timer = _engine.scheduleTimeout(
                 timeout,
                 [this, moves, source, state, all_done, timeout] {
+                    GHPROF_SCOPE("acud", "batch_timeout");
                     if (state->remaining == 0)
                         return;
                     // Abort every page still in flight: it stays at
@@ -230,6 +233,7 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
                                [src_gpu,
                                 transfer_phase = std::move(transfer_phase)]
                                () mutable {
+                GHPROF_SCOPE("acud", "resume");
                 // 5. Continue: execution restarts before the data
                 // moves (paper Figure 7).
                 src_gpu->resumeAllCus();

@@ -1,5 +1,7 @@
 #include "src/core/griffin_policy.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <memory>
@@ -80,6 +82,7 @@ void
 GriffinPolicy::schedulePeriod()
 {
     _engine.schedule(_config.tAc, [this] {
+        GHPROF_SCOPE("policy", "period");
         if (!_running)
             return;
         runPeriod();
@@ -114,11 +117,13 @@ GriffinPolicy::runPeriod()
         _network.send(cpuDeviceId, g->id(),
                       ic::MessageSizes::accessCountRequest,
                       [this, g, outstanding] {
+            GHPROF_SCOPE("policy", "count_request");
             auto counts = std::make_shared<std::vector<gpu::PageCount>>(
                 g->collectAccessCounts());
             _network.send(g->id(), cpuDeviceId,
                           ic::MessageSizes::accessCountReply,
                           [this, g, counts, outstanding] {
+                GHPROF_SCOPE("policy", "count_reply");
                 _dpc.addCounts(g->id(), *counts);
                 if (--*outstanding == 0)
                     onCountsCollected();

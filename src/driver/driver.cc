@@ -1,5 +1,7 @@
 #include "src/driver/driver.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <cassert>
 #include <memory>
 
@@ -67,6 +69,7 @@ Driver::maybeStartBatch()
     if (!_windowArmed) {
         _windowArmed = true;
         _engine.schedule(_config.faultBatchWindow, [this] {
+            GHPROF_SCOPE("driver", "batch_window");
             _windowArmed = false;
             if (!_processing && !_queue.empty())
                 startBatch();
@@ -131,6 +134,7 @@ Driver::startBatch()
     // while the driver moves on.
     _engine.schedule(_config.faultServiceLatency + _config.cpuFlushPenalty,
                      [this, batch = std::move(batch)] {
+        GHPROF_SCOPE("driver", "service_batch");
         for (const Fault &fault : batch) {
             // The serial service pass (interrupt + runlist + CPU
             // shootdown/flush) ends here for every batch member.
@@ -176,6 +180,7 @@ Driver::startBatch()
                 !state->completed) {
                 state->timer = _engine.scheduleTimeout(
                     _config.migrationTimeout, [this, fault, state] {
+                        GHPROF_SCOPE("driver", "migration_timeout");
                         if (state->completed)
                             return;
                         // Abort: unpin, unblock, and degrade the page

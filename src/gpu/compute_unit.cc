@@ -1,5 +1,7 @@
 #include "src/gpu/compute_unit.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <utility>
@@ -30,6 +32,7 @@ ComputeUnit::startWorkgroup(wl::Workgroup wg, sim::EventFn on_done)
     if (_wg.wavefronts.empty()) {
         // Degenerate but legal: an empty workgroup retires at once.
         _engine.schedule(_config.issueLatency, [this] {
+            GHPROF_SCOPE("cu", "retire");
             ++workgroupsRetired;
             _wgActive = false;
             auto done = std::move(_wgDone);
@@ -54,6 +57,7 @@ ComputeUnit::startWorkgroup(wl::Workgroup wg, sim::EventFn on_done)
 void
 ComputeUnit::tryIssue(std::size_t wf_index)
 {
+    GHPROF_SCOPE("cu", "issue");
     WfState &wf = _wfStates[wf_index];
     if (wf.finished || wf.inFlight)
         return;
@@ -88,6 +92,7 @@ ComputeUnit::issueOp(std::size_t wf_index)
 void
 ComputeUnit::onOpDone(std::uint64_t seq)
 {
+    GHPROF_SCOPE("cu", "op_done");
     auto it = _inflight.find(seq);
     if (it == _inflight.end()) {
         // The op was discarded by flushPipeline(); the reply is stale.

@@ -1,5 +1,7 @@
 #include "src/gpu/dispatcher.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <cassert>
 #include <utility>
 
@@ -29,7 +31,11 @@ Dispatcher::launchKernel(wl::KernelLaunch kernel, sim::EventFn on_done)
     if (kernel.workgroups.empty()) {
         auto done = std::move(_kernelDone);
         _kernelDone = nullptr;
-        _engine.schedule(_dispatchLatency, std::move(done));
+        _engine.schedule(_dispatchLatency,
+                         [fn = std::move(done)] {
+                             GHPROF_SCOPE("dispatcher", "kernel_done");
+                             fn();
+                         });
         return;
     }
 
@@ -45,6 +51,7 @@ Dispatcher::scheduleDeal()
         return;
     _dealScheduled = true;
     _engine.schedule(_dispatchLatency, [this] {
+        GHPROF_SCOPE("dispatcher", "deal");
         _dealScheduled = false;
         dealOne();
     });

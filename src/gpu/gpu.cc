@@ -1,5 +1,7 @@
 #include "src/gpu/gpu.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <string>
@@ -130,6 +132,7 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
                                                 is_write,
                                                 done = std::move(done)]
                                                () mutable {
+        GHPROF_SCOPE("gpu", "l1_tlb");
         if (auto loc = _l1Tlbs[cu_id].lookup(page)) {
             haveTranslation(cu_id, vaddr, is_write, *loc, std::move(done));
             return;
@@ -139,6 +142,7 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
                                             is_write,
                                             done = std::move(done)]
                                            () mutable {
+            GHPROF_SCOPE("gpu", "l2_tlb");
             if (auto loc = _l2Tlb.lookup(page)) {
                 _l1Tlbs[cu_id].fill(page, *loc);
                 haveTranslation(cu_id, vaddr, is_write, *loc,
@@ -152,6 +156,7 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
             _network.send(_id, cpuDeviceId, ic::MessageSizes::xlatRequest,
                           [this, cu_id, vaddr, page, is_write, miss_at,
                            done = std::move(done)]() mutable {
+                GHPROF_SCOPE("gpu", "xlat_request");
                 _iommu.request(_id, page, is_write,
                                [this, cu_id, vaddr, page, is_write,
                                 done = std::move(done)]
@@ -200,11 +205,13 @@ Gpu::localAccess(unsigned cu_id, Addr vaddr, bool is_write,
     mem::Cache &l1 = _l1s[cu_id];
     _engine.schedule(l1.latency(), [this, &l1, vaddr, is_write,
                                     done = std::move(done)]() mutable {
+        GHPROF_SCOPE("gpu", "l1_cache");
         const auto r1 = l1.access(vaddr, is_write);
         if (r1.writeback) {
             // Dirty L1 victim drains into the L2 asynchronously.
             const Addr wb = r1.writebackAddr;
             _engine.schedule(_config.xbarLatency, [this, wb] {
+                GHPROF_SCOPE("gpu", "l2_writeback");
                 const auto r = _l2.access(wb, true);
                 if (r.writeback)
                     _dram.access(_engine.now(), r.writebackAddr,
@@ -220,6 +227,7 @@ Gpu::localAccess(unsigned cu_id, Addr vaddr, bool is_write,
         _engine.schedule(_config.xbarLatency + _l2.latency(),
                          [this, vaddr, is_write,
                           done = std::move(done)]() mutable {
+            GHPROF_SCOPE("gpu", "l2_cache");
             const auto r2 = _l2.access(vaddr, is_write);
             if (r2.writeback)
                 _dram.access(_engine.now(), r2.writebackAddr,
@@ -312,6 +320,7 @@ Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
     _drainSet = std::move(pages);
     _engine.schedule(_config.drainCheckLatency,
                      [this, done = std::move(done)]() mutable {
+        GHPROF_SCOPE("gpu", "drain_check");
         if (drainSatisfied()) {
             ++drainsImmediate;
             _drainSet.reset();

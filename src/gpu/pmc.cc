@@ -1,5 +1,7 @@
 #include "src/gpu/pmc.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <cassert>
 #include <string>
 #include <utility>
@@ -97,10 +99,12 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
     _engine.scheduleAt(read_done, [this, page, base, dst, fid, attempt,
                                    begin,
                                    done = std::move(done)]() mutable {
+        GHPROF_SCOPE("pmc", "read_done");
         _network.send(
             _self, dst, _pageBytes + ic::MessageSizes::header,
             [this, page, base, dst, fid, attempt, begin,
              done = std::move(done)]() mutable {
+                GHPROF_SCOPE("pmc", "stream_arrive");
                 if (_injector && _injector->failDmaTransfer()) {
                     ++transfersFailed;
                     const auto &cc = _injector->config();
@@ -147,6 +151,7 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                         backoff,
                         [this, page, dst, fid, attempt, begin,
                          done = std::move(done)]() mutable {
+                            GHPROF_SCOPE("chaos", "dma_retry");
                             runAttempt(page, dst, std::move(done), fid,
                                        attempt + 1, begin);
                         });
@@ -160,6 +165,7 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                     write_done,
                     [this, page, dst, fid, begin,
                      done = std::move(done)]() mutable {
+                        GHPROF_SCOPE("pmc", "write_commit");
                         const Tick end = _engine.now();
                         if (auto *m = obs::Metrics::active()) {
                             auto &hist =

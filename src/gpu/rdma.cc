@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/hostprof.hh"
 #include "src/obs/trace.hh"
 
 namespace griffin::gpu {
@@ -34,6 +35,7 @@ Rdma::serve(Addr addr, bool is_write, DeviceId reply_to,
     sim::EventFn finish = [this, reply_to, reply_bytes,
                            done = std::move(done),
                            leave = std::move(leave_data_phase)]() mutable {
+        GHPROF_SCOPE("rdma", "dca_finish");
         if (leave)
             leave();
         _network.send(_self, reply_to, reply_bytes, std::move(done));

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/hostprof.hh"
 #include "src/obs/trace.hh"
 #include "src/sys/chaos.hh"
 
@@ -99,7 +100,13 @@ Network::send(DeviceId src, DeviceId dst, std::uint64_t bytes,
                      "link" + std::to_string(dst) + ".down", "xfer",
                      down_start, _links[dst].nextFree(dirDown), args);
     }
-    _engine.scheduleAt(at_dst, std::move(deliver));
+    // The receiver's completion callback runs as this event; the scope
+    // attributes it (and any un-scoped work it does) to the network
+    // unless the callback opens its own, more specific scope.
+    _engine.scheduleAt(at_dst, [fn = std::move(deliver)] {
+        GHPROF_SCOPE("network", "deliver");
+        fn();
+    });
 }
 
 } // namespace griffin::ic

@@ -1,5 +1,7 @@
 #include "src/obs/pagestats.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 
@@ -76,6 +78,7 @@ void
 PageStats::record(PageEvent event, PageId page, DeviceId from,
                   DeviceId to, Tick at)
 {
+    GHPROF_SCOPE("obs", "pagestats");
     ++_events[unsigned(event)];
     PageRec &rec = pageOf(page, at);
     ++rec.events[unsigned(event)];

@@ -1,5 +1,7 @@
 #include "src/obs/sampler.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <cassert>
 #include <cstdio>
 #include <utility>
@@ -50,6 +52,7 @@ Sampler::stop()
 void
 Sampler::sampleNow(Tick tick)
 {
+    GHPROF_SCOPE("obs", "sampler");
     Row row;
     row.tick = tick;
     row.values.reserve(_probes.size());

@@ -1,5 +1,7 @@
 #include "src/obs/timeseries.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -84,12 +86,14 @@ TimeSeries::stop()
 void
 TimeSeries::count(Series series, std::uint64_t n)
 {
+    GHPROF_SCOPE("obs", "timeseries");
     _counts[unsigned(series)] += n;
 }
 
 void
 TimeSeries::fault(double latency)
 {
+    GHPROF_SCOPE("obs", "timeseries");
     ++_counts[unsigned(Series::Faults)];
     _faultLatencies.push_back(latency);
 }
@@ -97,6 +101,7 @@ TimeSeries::fault(double latency)
 void
 TimeSeries::flush(Tick boundary)
 {
+    GHPROF_SCOPE("obs", "timeseries");
     Row row;
     row.begin = _intervalBegin;
     row.end = boundary;

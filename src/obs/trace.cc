@@ -1,5 +1,7 @@
 #include "src/obs/trace.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -149,6 +151,7 @@ TraceSession::instant(Category cat, const std::string &track,
                       const std::string &name, Tick ts,
                       const TraceArgs &args)
 {
+    GHPROF_SCOPE("obs", "trace");
     _events.push_back(Event{'i', _pid, trackId(track), ts, 0, 0.0, 0,
                             categoryName(cat), name, args.json()});
 }
@@ -158,6 +161,7 @@ TraceSession::complete(Category cat, const std::string &track,
                        const std::string &name, Tick begin, Tick end,
                        const TraceArgs &args)
 {
+    GHPROF_SCOPE("obs", "trace");
     assert(end >= begin);
     _events.push_back(Event{'X', _pid, trackId(track), begin, end - begin,
                             0.0, 0, categoryName(cat), name, args.json()});
@@ -167,6 +171,7 @@ void
 TraceSession::counter(Category cat, const std::string &track,
                       const std::string &series, Tick ts, double value)
 {
+    GHPROF_SCOPE("obs", "trace");
     _events.push_back(Event{'C', _pid, trackId(track), ts, 0, value, 0,
                             categoryName(cat), series, std::string()});
 }
@@ -179,6 +184,7 @@ TraceSession::flow(Category cat, const std::string &track,
     const char ph = phase == FlowPhase::Begin ? 's'
                   : phase == FlowPhase::Step  ? 't'
                                               : 'f';
+    GHPROF_SCOPE("obs", "trace");
     _events.push_back(Event{ph, _pid, trackId(track), ts, 0, 0.0, id,
                             categoryName(cat), name, std::string()});
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <string>
 
+#include "src/obs/hostprof.hh"
 #include "src/sim/watchdog.hh"
 
 namespace griffin::sim {
@@ -70,6 +71,10 @@ Engine::fireHooksUpTo(Tick limit)
             return;
         const Tick boundary = earliest->next;
         earliest->next += earliest->period;
+        // Hooks fire between dispatches, so this scope is parentless:
+        // its time lands in the profile's buckets but not dispatchNs
+        // (hook-driven sinks open nested "obs;..." scopes below it).
+        GHPROF_SCOPE("sim", "periodic_hook");
         earliest->fn(boundary);
     }
 }

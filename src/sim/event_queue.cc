@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/hostprof.hh"
 #include "src/sim/log.hh"
 
 namespace griffin::sim {
@@ -65,7 +66,21 @@ EventQueue::runOne()
     assert(entry.when >= _now);
     _now = entry.when;
     ++_executed;
-    entry.fn();
+    if (auto *prof = obs::HostProfiler::active()) {
+        // Bracket the dispatch so the profiler can attribute the
+        // callback's wall time; end it even if the callback throws
+        // (the watchdog surfaces errors as exceptions mid-run).
+        prof->beginDispatch();
+        try {
+            entry.fn();
+        } catch (...) {
+            prof->endDispatch();
+            throw;
+        }
+        prof->endDispatch();
+    } else {
+        entry.fn();
+    }
     return true;
 }
 

@@ -76,6 +76,10 @@ flattenNumbers(const obs::json::Value &node, const std::string &prefix,
     for (const auto &[key, child] : node.members()) {
         if (key == "samples" || key == "label")
             continue;
+        // Host-time measurements are nondeterministic by nature; they
+        // would swamp the drift table with noise on every run.
+        if (prefix == "host_profile" && key == "host")
+            continue;
         const std::string path = prefix.empty() ? key : prefix + "." + key;
         switch (child.kind()) {
           case obs::json::Value::Kind::Number:
@@ -168,6 +172,7 @@ resolveMetricPath(const std::string &metric)
         {"peak_dca_accesses", "timeseries.peak.dca_accesses"},
         {"peak_shootdowns", "timeseries.peak.shootdowns"},
         {"peak_faults", "timeseries.peak.faults"},
+        {"host_events_per_sec", "host_profile.host.events_per_sec"},
     };
     if (auto it = aliases.find(metric); it != aliases.end())
         return it->second;
@@ -218,10 +223,13 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
     const auto warn_version = [&result](const obs::json::Value &doc,
                                         const char *which) {
         const std::uint64_t version = schemaVersionOf(doc);
-        if (version != reportSchemaVersion) {
+        // Every version so far is additive, so any known version pair
+        // (v2 references vs v3 reports, say) diffs cleanly; only a
+        // version this build has never heard of merits an advisory.
+        if (!knownReportSchemaVersion(version)) {
             result.warnings.push_back(
                 std::string(which) + ": report schema_version " +
-                std::to_string(version) + " != expected " +
+                std::to_string(version) + " > known " +
                 std::to_string(reportSchemaVersion) +
                 " — unknown sections are ignored");
         }
@@ -285,6 +293,23 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
                     break;
                 }
             }
+            // Host-time metrics never hard-fail: wall measurements
+            // vary with the machine and its load, so a breach is an
+            // advisory even if the spec did not say --warn-on.
+            const bool warn_only =
+                t.warnOnly ||
+                check.path.rfind("host_profile.host.", 0) == 0;
+            if (!check.ok && warn_only) {
+                check.ok = true;
+                check.warnedOnly = true;
+                result.warnings.push_back(
+                    "warn-only check breached: " + label + " " +
+                    t.metric + " — " +
+                    (check.note.empty()
+                         ? "drifted " + std::to_string(check.deltaPct) +
+                               "%"
+                         : check.note));
+            }
             if (!check.ok)
                 result.pass = false;
             result.checks.push_back(std::move(check));
@@ -333,6 +358,8 @@ CompareResult::verdictJson() const
         jc["metric"] = c.metric;
         jc["path"] = c.path;
         jc["ok"] = c.ok;
+        if (c.warnedOnly)
+            jc["warned_only"] = true;
         if (c.note.empty()) {
             jc["ref"] = c.ref;
             jc["cur"] = c.cur;

@@ -36,6 +36,13 @@ struct Threshold
     std::string metric;
     double pct = 0.0;
     int direction = 0;
+    /**
+     * A breached warn-only threshold becomes a warning instead of a
+     * failure (the CLI's --warn-on). Host-time metrics (any path
+     * under host_profile.host) are forced warn-only regardless: wall
+     * time is machine-dependent, so it must never hard-fail a gate.
+     */
+    bool warnOnly = false;
 };
 
 /**
@@ -62,6 +69,8 @@ std::optional<Threshold> parseThreshold(const std::string &spec);
  *   reuse_{mean,p50,p95,p99}   page_stats.reuse_distance.*
  *   peak_{migrations,dca_accesses,shootdowns,faults}
  *                              timeseries.peak.*
+ *   host_events_per_sec  host_profile.host.events_per_sec
+ *                              (always warn-only: host time)
  *
  * Anything else is taken verbatim as a dotted path (so
  * "counters.iommu.walks" works unaliased... but note counter names
@@ -89,6 +98,8 @@ struct CheckResult
     double cur = 0.0;
     double deltaPct = 0.0;
     bool ok = false;
+    /** Breach downgraded to a warning (warn-only threshold). */
+    bool warnedOnly = false;
     std::string note; ///< non-empty when the metric could not be read
 };
 

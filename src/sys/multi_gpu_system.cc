@@ -166,6 +166,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
             },
             _config.numDevices() * 2);
     }
+    if (config.hostProf)
+        _hostProf = std::make_unique<obs::HostProfiler>();
 
     // Timestamp log lines with this system's clock for its lifetime.
     _prevLogClock = sim::Log::clock();
@@ -297,6 +299,24 @@ MultiGpuSystem::run(wl::Workload &workload)
     GLOG(Info, "run: " << workload.name() << " under "
                        << _policy->name());
 
+    // Attach the host profiler before every other sink so its dispatch
+    // brackets cover the whole run — including time the other sinks
+    // spend recording. The guard detaches even if the watchdog throws.
+    struct HostProfGuard
+    {
+        obs::HostProfiler *h;
+        explicit HostProfGuard(obs::HostProfiler *hh) : h(hh)
+        {
+            if (h)
+                h->attach();
+        }
+        ~HostProfGuard()
+        {
+            if (h)
+                h->detach();
+        }
+    } hostprof_guard(_hostProf.get());
+
     // Collect latency histograms for the run. The guard detaches even
     // if the watchdog throws.
     struct MetricsGuard
@@ -373,7 +393,10 @@ MultiGpuSystem::run(wl::Workload &workload)
                                       (*launch_next)(k + 1);
                                   });
     };
-    _engine.schedule(0, [launch_next] { (*launch_next)(0); });
+    _engine.schedule(0, [launch_next] {
+        GHPROF_SCOPE("sys", "kernel_launch");
+        (*launch_next)(0);
+    });
 
     // While injecting faults, cross-check the system's invariants
     // periodically so a recovery bug is caught near where it happened
@@ -403,6 +426,11 @@ MultiGpuSystem::run(wl::Workload &workload)
     // results snapshot it (the guard's later stop() is a no-op).
     if (_timeSeries)
         _timeSeries->stop();
+
+    // Freeze the host wall clock at end-of-sim so result collection
+    // and report writing don't inflate the measured run time.
+    if (_hostProf)
+        _hostProf->stopTimer();
 
     return collectResults();
 }
@@ -597,6 +625,11 @@ MultiGpuSystem::collectResults()
     }
     if (_timeSeries)
         result.timeseries = _timeSeries->summary();
+    // Host times are nondeterministic by nature, so the profile stays
+    // out of StatSet (whose counters must be byte-identical across
+    // --jobs=N); the report serializes it in its own marked section.
+    if (_hostProf)
+        result.hostProfile = _hostProf->profile();
 
     result.latency = _metrics.latency;
     result.faultBreakdown = _spans.criticalPath();

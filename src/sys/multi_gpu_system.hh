@@ -26,6 +26,7 @@
 #include "src/mem/cache.hh"
 #include "src/mem/dram.hh"
 #include "src/mem/page_table.hh"
+#include "src/obs/hostprof.hh"
 #include "src/obs/metrics.hh"
 #include "src/obs/pagestats.hh"
 #include "src/obs/sampler.hh"
@@ -66,6 +67,8 @@ struct RunResult
     obs::PageStatsSummary pageStats;
     /** Interval time-series digest (tick == 0 when off). */
     obs::TimeSeries::Summary timeseries;
+    /** Host wall-time attribution (enabled == false when off). */
+    obs::HostProfile hostProfile;
     /** Faults whose span never closed (should be 0 after a run). */
     std::uint64_t faultSpansOpen = 0;
     /** @name Chaos accounting (zero when injection is off) @{ */
@@ -139,6 +142,8 @@ class MultiGpuSystem : public gpu::RemoteRouter
     obs::PageStats *pageStats() { return _pageStats.get(); }
     /** Non-null only when the config set a time-series tick. */
     obs::TimeSeries *timeSeries() { return _timeSeries.get(); }
+    /** Non-null only when the config enabled host profiling. */
+    obs::HostProfiler *hostProfiler() { return _hostProf.get(); }
     /** Non-null only when the config enabled chaos injection. */
     FaultInjector *faultInjector() { return _injector.get(); }
     /** The liveness watchdog (always present). */
@@ -193,6 +198,8 @@ class MultiGpuSystem : public gpu::RemoteRouter
     std::unique_ptr<obs::PageStats> _pageStats;
     /** Built only when SystemConfig::timeseriesTick > 0. */
     std::unique_ptr<obs::TimeSeries> _timeSeries;
+    /** Built only when SystemConfig::hostProf. */
+    std::unique_ptr<obs::HostProfiler> _hostProf;
     /** The log clock that was registered before this system's engine. */
     const sim::Engine *_prevLogClock = nullptr;
 

@@ -12,6 +12,7 @@
 #include "src/obs/span.hh"
 #include "src/sim/log.hh"
 #include "src/sim/stats.hh"
+#include "src/sys/csv.hh"
 #include "src/sys/multi_gpu_system.hh"
 #include "src/sys/system_config.hh"
 
@@ -102,7 +103,7 @@ Table::csv() const
         for (std::size_t c = 0; c < cells.size(); ++c) {
             if (c)
                 os << ",";
-            os << cells[c];
+            os << csvEscape(cells[c]);
         }
         os << "\n";
     };
@@ -285,6 +286,84 @@ timeseriesJson(const obs::TimeSeries::Summary &ts)
 } // namespace
 
 obs::json::Value
+hostProfileJson(const obs::HostProfile &hp)
+{
+    obs::json::Value v = obs::json::Value::object();
+    // Deterministic members first: the dispatched-event total and the
+    // per-bucket scope counts are pure functions of the simulated
+    // event sequence, so they diff cleanly across --jobs=N.
+    v["events"] = hp.events;
+    obs::json::Value counts = obs::json::Value::object();
+    for (const auto &b : hp.buckets)
+        counts[b.name()] = b.count;
+    v["counts"] = std::move(counts);
+
+    // Everything nanosecond-derived is a host measurement: machine-
+    // and load-dependent, never byte-stable. sys::compare treats the
+    // whole "host" subtree as warn-only and excludes it from drift.
+    obs::json::Value host = obs::json::Value::object();
+    host["wall_ns"] = hp.wallNs;
+    host["dispatch_ns"] = hp.dispatchNs;
+    host["events_per_sec"] = hp.eventsPerSec();
+    host["attributed_ns"] = hp.attributedNs();
+    host["attributed_fraction"] = hp.attributedFraction();
+    host["unattributed_ns"] = hp.unattributedNs();
+    host["obs_ns"] = hp.obsNs();
+    host["obs_fraction"] = hp.obsFraction();
+    obs::json::Value self = obs::json::Value::object();
+    for (const auto &b : hp.buckets)
+        self[b.name()] = b.selfNs;
+    host["self_ns"] = std::move(self);
+    v["host"] = std::move(host);
+    return v;
+}
+
+std::optional<obs::HostProfile>
+hostProfileFromJson(const obs::json::Value &v)
+{
+    const obs::json::Value *counts = v.find("counts");
+    const obs::json::Value *host = v.find("host");
+    if (!counts || !host ||
+        counts->kind() != obs::json::Value::Kind::Object ||
+        host->kind() != obs::json::Value::Kind::Object)
+        return std::nullopt;
+    const obs::json::Value *self = host->find("self_ns");
+    if (!self || self->kind() != obs::json::Value::Kind::Object)
+        return std::nullopt;
+
+    obs::HostProfile hp;
+    hp.enabled = true;
+    if (const auto *ev = v.find("events"))
+        hp.events = std::uint64_t(ev->asNumber());
+    hp.wallNs = std::uint64_t(
+        host->find("wall_ns") ? host->find("wall_ns")->asNumber() : 0.0);
+    hp.dispatchNs = std::uint64_t(
+        host->find("dispatch_ns") ? host->find("dispatch_ns")->asNumber()
+                                  : 0.0);
+
+    for (const auto &[name, count] : counts->members()) {
+        const auto semi = name.find(';');
+        if (semi == std::string::npos)
+            return std::nullopt;
+        obs::HostProfile::Bucket b;
+        b.component = name.substr(0, semi);
+        b.event = name.substr(semi + 1);
+        b.count = std::uint64_t(count.asNumber());
+        if (const auto *ns = self->find(name))
+            b.selfNs = std::uint64_t(ns->asNumber());
+        hp.buckets.push_back(std::move(b));
+    }
+    std::sort(hp.buckets.begin(), hp.buckets.end(),
+              [](const obs::HostProfile::Bucket &a,
+                 const obs::HostProfile::Bucket &b) {
+                  return a.component != b.component
+                             ? a.component < b.component
+                             : a.event < b.event;
+              });
+    return hp;
+}
+
+obs::json::Value
 runReportJson(const std::string &label, const SystemConfig &config,
               const RunResult &result, const obs::Sampler *sampler)
 {
@@ -356,6 +435,8 @@ runReportJson(const std::string &label, const SystemConfig &config,
         v["page_stats"] = pageStatsJson(result.pageStats);
     if (result.timeseries.tick > 0)
         v["timeseries"] = timeseriesJson(result.timeseries);
+    if (result.hostProfile.enabled)
+        v["host_profile"] = hostProfileJson(result.hostProfile);
 
     if (sampler) {
         obs::json::Value s = obs::json::Value::object();

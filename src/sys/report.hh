@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/obs/hostprof.hh"
 #include "src/obs/json.hh"
 
 namespace griffin::sim {
@@ -83,10 +85,23 @@ std::string asciiBar(double value, double max_value, int width = 40);
  *  - (absent) = 1: the original {runs: [...]} document.
  *  - 2: adds the document-level schema_version field and the optional
  *    per-run page_stats / timeseries sections.
+ *  - 3: adds the optional per-run host_profile section (deterministic
+ *    "counts" plus the nondeterministic, warn-only "host" subtree).
  * Consumers (sys::compare, griffin-compare, griffin-pages) warn — not
  * fail — on a version they do not know.
  */
-inline constexpr std::uint64_t reportSchemaVersion = 2;
+inline constexpr std::uint64_t reportSchemaVersion = 3;
+
+/**
+ * Whether @p version is a schema this build knows how to read. All
+ * versions so far are additive, so v2 and v3 reports diff cleanly
+ * against each other; consumers warn only outside this set.
+ */
+inline constexpr bool
+knownReportSchemaVersion(std::uint64_t version)
+{
+    return version >= 1 && version <= reportSchemaVersion;
+}
 
 /**
  * One histogram as JSON: {count, mean, min, max, p50, p95, p99,
@@ -97,6 +112,23 @@ obs::json::Value histogramJson(const sim::Histogram &hist);
 
 /** The run-relevant SystemConfig fields as a JSON object. */
 obs::json::Value configJson(const SystemConfig &config);
+
+/**
+ * The per-run "host_profile" section for @p hp. Deterministic members
+ * first (events dispatched, per-bucket counts — byte-identical across
+ * --jobs=N), then the "host" subtree holding every nanosecond-derived
+ * measurement, which is nondeterministic by nature and treated as
+ * warn-only by sys::compare.
+ */
+obs::json::Value hostProfileJson(const obs::HostProfile &hp);
+
+/**
+ * Rebuild a HostProfile from a "host_profile" section produced by
+ * hostProfileJson (griffin-prof, sweep post-processing, tests).
+ * @return nullopt if @p v does not have the expected shape.
+ */
+std::optional<obs::HostProfile>
+hostProfileFromJson(const obs::json::Value &v);
 
 /**
  * The full report of one run:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -61,8 +62,11 @@ SweepRunner::run()
     if (workers <= 1) {
         // Serial reference path: inline, in submission order, with
         // exceptions propagating directly.
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
             results[i] = execute(jobs[i]);
+            if (_progress)
+                _progress(i + 1, n);
+        }
         return results;
     }
 
@@ -73,6 +77,8 @@ SweepRunner::run()
     // submission order and long jobs never starve the pool.
     std::vector<std::exception_ptr> errors(n);
     std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
+    std::mutex progress_mutex;
     auto workerLoop = [&] {
         for (;;) {
             const std::size_t i =
@@ -83,6 +89,12 @@ SweepRunner::run()
                 results[i] = execute(jobs[i]);
             } catch (...) {
                 errors[i] = std::current_exception();
+            }
+            if (_progress) {
+                // Serialize the callback so it can render a progress
+                // line without its own locking.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                _progress(++done, n);
             }
         }
     };
@@ -101,6 +113,17 @@ SweepRunner::run()
             std::rethrow_exception(e);
     }
     return results;
+}
+
+obs::HostProfile
+SweepRunner::aggregateHostProfiles(const std::vector<RunResult> &results)
+{
+    obs::HostProfile total;
+    for (const RunResult &r : results) {
+        if (r.hostProfile.enabled)
+            total.merge(r.hostProfile);
+    }
+    return total;
 }
 
 } // namespace griffin::sys

@@ -95,6 +95,29 @@ class SweepRunner
      */
     std::vector<RunResult> run();
 
+    /**
+     * Optional completion callback, fired as `cb(done, total)` after
+     * each job finishes (successfully or not). Serialized: never
+     * invoked concurrently with itself, so the callback may touch
+     * un-synchronized state (a progress line, a counter). `done` is
+     * the number of completed jobs at that moment, which on the
+     * parallel path is not the finishing job's submission index.
+     */
+    void setProgress(std::function<void(std::size_t, std::size_t)> cb)
+    {
+        _progress = std::move(cb);
+    }
+
+    /**
+     * Merge the per-run host profiles of @p results (in order) into
+     * one sweep-level profile: bucket names and counts deterministic
+     * for a fixed job list, host times summed across runs (CPU time,
+     * not elapsed wall, when runs overlapped under --jobs=N).
+     * enabled == false when no run carried a profile.
+     */
+    static obs::HostProfile
+    aggregateHostProfiles(const std::vector<RunResult> &results);
+
     /** Jobs submitted and not yet run. */
     std::size_t pending() const { return _jobs.size(); }
 
@@ -107,6 +130,7 @@ class SweepRunner
   private:
     unsigned _workers;
     std::vector<SweepJob> _jobs;
+    std::function<void(std::size_t, std::size_t)> _progress;
 
     static RunResult execute(SweepJob &job);
 };

@@ -90,6 +90,15 @@ struct SystemConfig
      */
     Tick timeseriesTick = 0;
 
+    /**
+     * Host-side self-profiling (off by default). When enabled the
+     * system builds an obs::HostProfiler, every dispatched event's
+     * host wall time is attributed per component/event type, and the
+     * run report gains a "host_profile" section. Simulated results
+     * are unaffected either way.
+     */
+    bool hostProf = false;
+
     std::uint64_t seed = 42;
 
     /** Total devices including the CPU. */

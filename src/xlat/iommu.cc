@@ -1,5 +1,7 @@
 #include "src/xlat/iommu.hh"
 
+#include "src/obs/hostprof.hh"
+
 #include <cassert>
 #include <utility>
 
@@ -39,6 +41,7 @@ Iommu::request(DeviceId requester, PageId page, bool is_write, XlatDone done,
 
     // IOTLB probe first; a hit skips the walk entirely.
     _engine.schedule(_iotlb.latency(), [this, req = std::move(req)]() mutable {
+        GHPROF_SCOPE("iommu", "iotlb");
         // A page under migration must park even on what would be an
         // IOTLB hit; blockPage() purges the entry, so a lookup hit
         // implies the page is stable.
@@ -93,7 +96,10 @@ Iommu::startWalks()
                                 .add("penalty", penalty));
             }
         }
-        _engine.schedule(latency, [this, page] { finishWalk(page); });
+        _engine.schedule(latency, [this, page] {
+            GHPROF_SCOPE("iommu", "walk_done");
+            finishWalk(page);
+        });
     }
 }
 

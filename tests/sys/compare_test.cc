@@ -258,14 +258,15 @@ TEST(CompareReports, UnthresholdedDriftIsInformational)
     EXPECT_TRUE(saw_walks);
 }
 
-TEST(CompareReports, SchemaVersionMismatchWarnsButDoesNotFail)
+TEST(CompareReports, UnknownSchemaVersionWarnsButDoesNotFail)
 {
-    // A document without schema_version is a version-1 report: older
-    // reference files must keep gating runs, so the skew is surfaced
-    // as a warning, never as a failure.
+    // A report written by a newer library than this build may carry
+    // sections the comparer cannot interpret; the numbers it does
+    // know still gate, so the skew is surfaced as a warning, never as
+    // a failure.
     const Value ref = makeReport(1000.0, 5000.0); // no schema_version
     Value cur = makeReport(1000.0, 5000.0);
-    cur["schema_version"] = double(sys::reportSchemaVersion);
+    cur["schema_version"] = double(sys::reportSchemaVersion + 96);
 
     const auto res =
         compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
@@ -280,16 +281,25 @@ TEST(CompareReports, SchemaVersionMismatchWarnsButDoesNotFail)
     EXPECT_EQ(verdict.find("warnings")->size(), res.warnings.size());
 }
 
-TEST(CompareReports, MatchingSchemaVersionsProduceNoWarning)
+TEST(CompareReports, KnownSchemaVersionsProduceNoWarning)
 {
-    Value ref = makeReport(1000.0, 5000.0);
-    ref["schema_version"] = double(sys::reportSchemaVersion);
-    Value cur = makeReport(1000.0, 5000.0);
-    cur["schema_version"] = double(sys::reportSchemaVersion);
-    const auto res =
-        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
-    EXPECT_TRUE(res.pass);
-    EXPECT_TRUE(res.warnings.empty());
+    // Every shipped version is additive, so any known pair — v1 (no
+    // field) references against a v3 report, say — diffs cleanly and
+    // silently. Only versions above the known set warn.
+    static_assert(sys::knownReportSchemaVersion(1));
+    static_assert(sys::knownReportSchemaVersion(sys::reportSchemaVersion));
+    static_assert(!sys::knownReportSchemaVersion(0));
+    static_assert(
+        !sys::knownReportSchemaVersion(sys::reportSchemaVersion + 1));
+    for (std::uint64_t v = 1; v <= sys::reportSchemaVersion; ++v) {
+        const Value ref = makeReport(1000.0, 5000.0); // v1 reference
+        Value cur = makeReport(1000.0, 5000.0);
+        cur["schema_version"] = double(v);
+        const auto res =
+            compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+        EXPECT_TRUE(res.pass);
+        EXPECT_TRUE(res.warnings.empty()) << "version " << v;
+    }
 }
 
 TEST(CompareReports, VerdictJsonShape)
@@ -312,4 +322,141 @@ TEST(CompareReports, VerdictJsonShape)
     EXPECT_EQ(check.find("run")->asString(), "MT/griffin");
     EXPECT_FALSE(check.find("ok")->asBool());
     EXPECT_NEAR(check.find("deltaPct")->asNumber(), 8.0, 1e-9);
+}
+
+namespace {
+
+/**
+ * @p doc with a host_profile section grafted onto its first run
+ * (Value::at is const-only, so the document is rebuilt around a
+ * copied run).
+ */
+Value
+withHostProfile(const Value &doc, double events_per_sec, double wall_ns,
+                double events = 168000.0)
+{
+    Value run = doc.find("runs")->at(0);
+    Value hp = Value::object();
+    hp["events"] = events;
+    Value counts = Value::object();
+    counts["gpu;l1_tlb"] = 11264.0;
+    counts["network;deliver"] = 23010.0;
+    hp["counts"] = std::move(counts);
+    Value host = Value::object();
+    host["wall_ns"] = wall_ns;
+    host["dispatch_ns"] = wall_ns * 0.7;
+    host["events_per_sec"] = events_per_sec;
+    Value self = Value::object();
+    self["gpu;l1_tlb"] = wall_ns * 0.2;
+    self["network;deliver"] = wall_ns * 0.5;
+    host["self_ns"] = std::move(self);
+    hp["host"] = std::move(host);
+    run["host_profile"] = std::move(hp);
+
+    Value out = Value::object();
+    Value runs = Value::array();
+    runs.push(std::move(run));
+    out["runs"] = std::move(runs);
+    return out;
+}
+
+} // namespace
+
+TEST(ResolveMetricPath, HostProfileAlias)
+{
+    EXPECT_EQ(sys::resolveMetricPath("host_events_per_sec"),
+              "host_profile.host.events_per_sec");
+}
+
+TEST(CompareReports, HostTimesAreExcludedFromDrift)
+{
+    // Host wall time doubles between machines — pure noise.
+    const Value ref =
+        withHostProfile(makeReport(1000.0, 5000.0), 2.0e6, 9.0e7);
+    const Value cur =
+        withHostProfile(makeReport(1000.0, 5000.0), 1.0e6, 1.8e8);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_TRUE(res.pass);
+    for (const auto &d : res.drifts) {
+        EXPECT_EQ(d.path.find("host_profile.host"), std::string::npos)
+            << "host-time noise leaked into drift: " << d.path;
+    }
+}
+
+TEST(CompareReports, DeterministicHostProfileCountsStillDrift)
+{
+    const Value ref =
+        withHostProfile(makeReport(1000.0, 5000.0), 2.0e6, 9.0e7);
+    // A changed dispatch count is a real behaviour change...
+    const Value cur = withHostProfile(makeReport(1000.0, 5000.0),
+                                      2.0e6, 9.0e7, 200000.0);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_TRUE(res.pass);
+    bool saw = false;
+    for (const auto &d : res.drifts)
+        saw = saw || d.path == "host_profile.events";
+    EXPECT_TRUE(saw) << "deterministic profile counts must keep "
+                        "participating in drift";
+}
+
+TEST(CompareReports, HostEventsPerSecIsForcedWarnOnly)
+{
+    const Value ref =
+        withHostProfile(makeReport(1000.0, 5000.0), 2.0e6, 9.0e7);
+    // 4x slower: breaches the -50% bound.
+    const Value cur =
+        withHostProfile(makeReport(1000.0, 5000.0), 0.5e6, 3.6e8);
+    const auto res = compareReports(
+        ref, cur, {*parseThreshold("host_events_per_sec:-50%")});
+    // The breach downgrades to a warning: host time never hard-fails.
+    EXPECT_TRUE(res.pass);
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_TRUE(res.checks[0].ok);
+    EXPECT_TRUE(res.checks[0].warnedOnly);
+    ASSERT_FALSE(res.warnings.empty());
+    EXPECT_NE(res.warnings.back().find("warn-only"), std::string::npos);
+
+    const Value verdict = res.verdictJson();
+    EXPECT_EQ(verdict.find("status")->asString(), "pass");
+    const Value &check = verdict.find("checks")->at(0);
+    ASSERT_NE(check.find("warned_only"), nullptr);
+    EXPECT_TRUE(check.find("warned_only")->asBool());
+}
+
+TEST(CompareReports, ExplicitWarnOnlyThresholdDowngradesAnyMetric)
+{
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1200.0, 5000.0); // p95 +20%
+    Threshold t = *parseThreshold("fault_p95:+5%");
+
+    // As a hard threshold the regression fails...
+    EXPECT_FALSE(compareReports(ref, cur, {t}).pass);
+
+    // ...as a warn-only one (--warn-on) it warns and passes.
+    t.warnOnly = true;
+    const auto res = compareReports(ref, cur, {t});
+    EXPECT_TRUE(res.pass);
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_TRUE(res.checks[0].warnedOnly);
+    ASSERT_FALSE(res.warnings.empty());
+}
+
+TEST(CompareReports, WarnOnlyStillFailsWhenMetricIsMissing)
+{
+    // warn-only downgrades *breaches*; being unable to read the
+    // metric at all still warns rather than silently passing clean.
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1000.0, 5000.0);
+    const auto res = compareReports(
+        ref, cur, {*parseThreshold("host_events_per_sec:-50%")});
+    EXPECT_TRUE(res.pass) << "forced warn-only: missing host profile "
+                             "must not hard-fail";
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_TRUE(res.checks[0].warnedOnly);
+    EXPECT_FALSE(res.checks[0].note.empty());
+    ASSERT_FALSE(res.warnings.empty());
+    EXPECT_NE(res.warnings.back().find(res.checks[0].note),
+              std::string::npos);
 }

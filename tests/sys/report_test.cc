@@ -13,6 +13,7 @@
 #include "src/obs/span.hh"
 #include "src/sim/engine.hh"
 #include "src/sys/multi_gpu_system.hh"
+#include "src/sys/csv.hh"
 #include "src/sys/report.hh"
 #include "src/sys/system_config.hh"
 
@@ -393,3 +394,112 @@ TEST(RunReportJson, FaultBreakdownRoundTrips)
     EXPECT_DOUBLE_EQ(walk->find("sum")->asNumber(), 600.0);
 }
 
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded)
+{
+    // Plain fields pass through byte-identical (the compatibility
+    // contract: quoting must not perturb existing CSV output).
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape(""), "");
+    EXPECT_EQ(csvEscape("MT/griffin/gpus=4"), "MT/griffin/gpus=4");
+    // RFC 4180: commas, quotes and line breaks force quoting, with
+    // embedded quotes doubled.
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(csvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Table, CsvQuotesEmbeddedCommas)
+{
+    Table t({"run", "value"});
+    t.addRow({"SC/griffin/fabric=a,b", "1"});
+    EXPECT_EQ(t.csv(), "run,value\n\"SC/griffin/fabric=a,b\",1\n");
+}
+
+namespace {
+
+obs::HostProfile
+sampleHostProfile()
+{
+    obs::HostProfile p;
+    p.enabled = true;
+    p.wallNs = 5'000'000;
+    p.dispatchNs = 4'000'000;
+    p.events = 2000;
+    p.buckets = {{"gpu", "l1_tlb", 800, 1'500'000},
+                 {"network", "deliver", 1200, 2'100'000},
+                 {"obs", "trace", 500, 300'000},
+                 {"sim", "unattributed", 10, 100'000}};
+    return p;
+}
+
+} // namespace
+
+TEST(HostProfileJson, RoundTripsThroughParse)
+{
+    const obs::HostProfile p = sampleHostProfile();
+    const auto v = hostProfileJson(p);
+    const auto parsed = obs::json::Value::parse(v.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+
+    const auto back = hostProfileFromJson(*parsed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->enabled);
+    EXPECT_EQ(back->events, p.events);
+    EXPECT_EQ(back->wallNs, p.wallNs);
+    EXPECT_EQ(back->dispatchNs, p.dispatchNs);
+    ASSERT_EQ(back->buckets.size(), p.buckets.size());
+    for (std::size_t i = 0; i < p.buckets.size(); ++i) {
+        EXPECT_EQ(back->buckets[i].name(), p.buckets[i].name());
+        EXPECT_EQ(back->buckets[i].count, p.buckets[i].count);
+        EXPECT_EQ(back->buckets[i].selfNs, p.buckets[i].selfNs);
+    }
+    EXPECT_DOUBLE_EQ(back->attributedFraction(),
+                     p.attributedFraction());
+    EXPECT_EQ(back->obsNs(), p.obsNs());
+}
+
+TEST(HostProfileJson, SeparatesDeterministicAndHostSections)
+{
+    const auto v = hostProfileJson(sampleHostProfile());
+    // Deterministic across --jobs=N: the event total and the bucket
+    // counts...
+    ASSERT_NE(v.find("events"), nullptr);
+    ASSERT_NE(v.find("counts"), nullptr);
+    EXPECT_DOUBLE_EQ(
+        v.find("counts")->find("gpu;l1_tlb")->asNumber(), 800.0);
+    // ...while every nanosecond-derived number lives under "host",
+    // the subtree compare treats warn-only and excludes from drift.
+    const auto *host = v.find("host");
+    ASSERT_NE(host, nullptr);
+    ASSERT_NE(host->find("wall_ns"), nullptr);
+    ASSERT_NE(host->find("events_per_sec"), nullptr);
+    ASSERT_NE(host->find("attributed_fraction"), nullptr);
+    ASSERT_NE(host->find("self_ns"), nullptr);
+    EXPECT_EQ(v.find("wall_ns"), nullptr);
+}
+
+TEST(HostProfileJson, FromJsonRejectsMalformedSections)
+{
+    EXPECT_FALSE(
+        hostProfileFromJson(obs::json::Value::array()).has_value());
+    auto noCounts = obs::json::Value::object();
+    noCounts["events"] = 3.0;
+    EXPECT_FALSE(hostProfileFromJson(noCounts).has_value());
+}
+
+TEST(RunReportJson, HostProfileSectionAppearsOnlyWhenEnabled)
+{
+    RunResult off = sampleResult();
+    const auto without =
+        runReportJson("off", SystemConfig::baseline(), off);
+    EXPECT_EQ(without.find("host_profile"), nullptr);
+
+    RunResult on = sampleResult();
+    on.hostProfile = sampleHostProfile();
+    const auto with = runReportJson("on", SystemConfig::baseline(), on);
+    const auto *hp = with.find("host_profile");
+    ASSERT_NE(hp, nullptr);
+    EXPECT_DOUBLE_EQ(hp->find("events")->asNumber(), 2000.0);
+}

@@ -297,3 +297,116 @@ TEST(SweepRunner, DefaultWorkerCountIsPositive)
     SweepRunner runner; // default: one worker per hardware thread
     EXPECT_GE(runner.workers(), 1u);
 }
+
+TEST(SweepRunner, HostProfileCountsAreByteIdenticalAcrossJobCounts)
+{
+    // Host nanoseconds vary run to run, but the deterministic half of
+    // a host profile — bucket names, scope counts, the dispatched
+    // event total — is a pure function of the simulated event
+    // sequence, so a profiled sweep must agree bucket for bucket
+    // between 1 worker and 8. This is the property that lets the
+    // "host_profile" report section participate in CI comparisons.
+    auto runProfiledGrid = [](unsigned workers) {
+        SweepRunner runner(workers);
+        for (auto &job : gridJobs()) {
+            job.config.hostProf = true;
+            runner.submit(std::move(job));
+        }
+        return runner.run();
+    };
+
+    const auto serial = runProfiledGrid(1);
+    const auto parallel = runProfiledGrid(8);
+    const auto jobs = gridJobs();
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(jobs[i].label);
+        const obs::HostProfile &s = serial[i].hostProfile;
+        const obs::HostProfile &p = parallel[i].hostProfile;
+        ASSERT_TRUE(s.enabled);
+        ASSERT_TRUE(p.enabled);
+        EXPECT_GT(s.events, 0u);
+        EXPECT_EQ(s.events, p.events);
+        ASSERT_EQ(s.buckets.size(), p.buckets.size());
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            EXPECT_EQ(s.buckets[b].name(), p.buckets[b].name());
+            EXPECT_EQ(s.buckets[b].count, p.buckets[b].count)
+                << s.buckets[b].name();
+        }
+        // ...and the attribution coverage promise holds on real runs.
+        EXPECT_GE(s.attributedFraction(), 0.95) << "uninstrumented "
+            "event types crept into the dispatch path";
+    }
+}
+
+TEST(SweepRunner, HostProfileEventsMatchEngineDispatches)
+{
+    // The profiler's deterministic event total is exactly the number
+    // of events the engine dispatched while attached.
+    SweepRunner runner(1);
+    auto jobs = gridJobs();
+    jobs[0].config.hostProf = true;
+    std::uint64_t profiled = 0;
+    jobs[0].postRun = [&profiled](sys::MultiGpuSystem &system,
+                                  const RunResult &) {
+        ASSERT_NE(system.hostProfiler(), nullptr);
+        profiled = system.hostProfiler()->eventsDispatched();
+    };
+    runner.submit(std::move(jobs[0]));
+    const auto results = runner.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(profiled, 0u);
+    EXPECT_EQ(results[0].hostProfile.events, profiled);
+}
+
+TEST(SweepRunner, AggregateHostProfilesMergesEnabledRunsOnly)
+{
+    RunResult a;
+    a.hostProfile.enabled = true;
+    a.hostProfile.events = 10;
+    a.hostProfile.dispatchNs = 100;
+    a.hostProfile.buckets = {{"gpu", "l1_tlb", 4, 60},
+                             {"net", "deliver", 6, 40}};
+    RunResult unprofiled; // enabled = false: contributes nothing
+    RunResult b;
+    b.hostProfile.enabled = true;
+    b.hostProfile.events = 5;
+    b.hostProfile.dispatchNs = 50;
+    b.hostProfile.buckets = {{"gpu", "l1_tlb", 2, 50}};
+
+    const auto total =
+        SweepRunner::aggregateHostProfiles({a, unprofiled, b});
+    EXPECT_TRUE(total.enabled);
+    EXPECT_EQ(total.events, 15u);
+    EXPECT_EQ(total.dispatchNs, 150u);
+    ASSERT_EQ(total.buckets.size(), 2u);
+    EXPECT_EQ(total.buckets[0].name(), "gpu;l1_tlb");
+    EXPECT_EQ(total.buckets[0].count, 6u);
+    EXPECT_EQ(total.buckets[0].selfNs, 110u);
+
+    const auto none = SweepRunner::aggregateHostProfiles({unprofiled});
+    EXPECT_FALSE(none.enabled);
+}
+
+TEST(SweepRunner, ProgressCallbackCountsEveryCompletion)
+{
+    // The callback is serialized and fires once per finished job with
+    // a monotonically increasing `done`, on both execution paths.
+    for (const unsigned workers : {1u, 8u}) {
+        SCOPED_TRACE(workers);
+        SweepRunner runner(workers);
+        for (auto &job : gridJobs())
+            runner.submit(std::move(job));
+        std::vector<std::pair<std::size_t, std::size_t>> calls;
+        runner.setProgress([&calls](std::size_t done,
+                                    std::size_t total) {
+            calls.emplace_back(done, total);
+        });
+        const auto results = runner.run();
+        ASSERT_EQ(calls.size(), results.size());
+        for (std::size_t i = 0; i < calls.size(); ++i) {
+            EXPECT_EQ(calls[i].first, i + 1);
+            EXPECT_EQ(calls[i].second, results.size());
+        }
+    }
+}

@@ -3,7 +3,13 @@
  * griffin-compare: diff two JSON run reports and gate on regressions.
  *
  *   griffin-compare REF.json CUR.json
- *       [--fail-on METRIC:[+|-]P%]... [--verdict=FILE] [--quiet]
+ *       [--fail-on METRIC:[+|-]P%]... [--warn-on METRIC:[+|-]P%]...
+ *       [--verdict=FILE] [--csv] [--quiet]
+ *
+ * --warn-on thresholds report a breach as a warning without failing
+ * the gate (host-time metrics like host_events_per_sec are warn-only
+ * even under --fail-on). --csv renders the checks as RFC-4180 CSV
+ * instead of the aligned text (drift stays on stdout as text).
  *
  * Exit status: 0 every check passed, 1 a check or run matching
  * failed, 2 usage / IO / parse error or an invalid comparison (e.g.
@@ -22,6 +28,7 @@
 
 #include "src/obs/json.hh"
 #include "src/sys/compare.hh"
+#include "src/sys/report.hh"
 
 namespace {
 
@@ -46,7 +53,8 @@ usage()
 {
     std::cerr << "usage: griffin-compare REF.json CUR.json"
                  " [--fail-on METRIC:[+|-]P%]..."
-                 " [--verdict=FILE] [--quiet]\n"
+                 " [--warn-on METRIC:[+|-]P%]..."
+                 " [--verdict=FILE] [--csv] [--quiet]\n"
                  "  e.g. griffin-compare ref.json cur.json"
                  " --fail-on fault_p95:+5% --fail-on cycles:+3%\n";
 }
@@ -62,14 +70,25 @@ main(int argc, char **argv)
     std::vector<sys::Threshold> thresholds;
     std::string verdictFile;
     bool quiet = false;
+    bool csv = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string spec;
+        bool warn_only = false;
         if (arg == "--fail-on" && i + 1 < argc) {
             spec = argv[++i];
         } else if (arg.rfind("--fail-on=", 0) == 0) {
             spec = arg.substr(10);
+        } else if (arg == "--warn-on" && i + 1 < argc) {
+            spec = argv[++i];
+            warn_only = true;
+        } else if (arg.rfind("--warn-on=", 0) == 0) {
+            spec = arg.substr(10);
+            warn_only = true;
+        } else if (arg == "--csv") {
+            csv = true;
+            continue;
         } else if (arg.rfind("--verdict=", 0) == 0) {
             verdictFile = arg.substr(10);
             continue;
@@ -93,6 +112,7 @@ main(int argc, char **argv)
                       << "\" (want METRIC:[+|-]P%)\n";
             return 2;
         }
+        t->warnOnly = warn_only;
         thresholds.push_back(std::move(*t));
     }
 
@@ -124,15 +144,37 @@ main(int argc, char **argv)
             std::cout << "ERROR  " << e << "\n";
         for (const std::string &w : result.warnings)
             std::cout << "WARN   " << w << "\n";
-        for (const auto &c : result.checks) {
-            if (!c.note.empty()) {
-                std::printf("FAIL   %-24s %-14s %s\n", c.run.c_str(),
-                            c.metric.c_str(), c.note.c_str());
-                continue;
+        const auto status = [](const sys::CheckResult &c) {
+            return c.warnedOnly ? "WARN" : c.ok ? "ok" : "FAIL";
+        };
+        if (csv) {
+            sys::Table table({"status", "run", "metric", "ref", "cur",
+                              "deltaPct"});
+            for (const auto &c : result.checks) {
+                if (!c.note.empty()) {
+                    table.addRow({status(c), c.run, c.metric, "", "",
+                                  c.note});
+                    continue;
+                }
+                table.addRow({status(c), c.run, c.metric,
+                              sys::Table::num(c.ref, 6),
+                              sys::Table::num(c.cur, 6),
+                              sys::Table::num(c.deltaPct, 2)});
             }
-            std::printf("%-6s %-24s %-14s %14.6g -> %-14.6g %+.2f%%\n",
-                        c.ok ? "ok" : "FAIL", c.run.c_str(),
-                        c.metric.c_str(), c.ref, c.cur, c.deltaPct);
+            std::cout << table.csv();
+        } else {
+            for (const auto &c : result.checks) {
+                if (!c.note.empty()) {
+                    std::printf("%-6s %-24s %-14s %s\n", status(c),
+                                c.run.c_str(), c.metric.c_str(),
+                                c.note.c_str());
+                    continue;
+                }
+                std::printf(
+                    "%-6s %-24s %-14s %14.6g -> %-14.6g %+.2f%%\n",
+                    status(c), c.run.c_str(), c.metric.c_str(), c.ref,
+                    c.cur, c.deltaPct);
+            }
         }
         if (!result.drifts.empty()) {
             std::cout << "drift (largest " << result.drifts.size()
