@@ -38,6 +38,102 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
 static void
+BM_EventQueueSameTickCascade(benchmark::State &state)
+{
+    // The simulator's dominant shape: an event's callback schedules
+    // the next hop. Same-tick hops stay in the FIFO ring; the queue
+    // must sustain them without growing.
+    const std::uint64_t hops = std::uint64_t(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t left = hops;
+        sim::InlineFn<void()> step;
+        step = [&] {
+            if (--left > 0)
+                q.schedule(0, [&] { step(); });
+        };
+        q.schedule(0, [&] { step(); });
+        q.run();
+        benchmark::DoNotOptimize(left);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(hops));
+}
+BENCHMARK(BM_EventQueueSameTickCascade)->Arg(4096);
+
+static void
+BM_EventQueueHopChain(benchmark::State &state)
+{
+    // Latency-hop chains (TLB -> cache -> DRAM shapes): every hop
+    // moves time forward a little, so events flow through the ladder
+    // buckets rather than the ring.
+    const std::uint64_t hops = std::uint64_t(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t left = hops;
+        sim::InlineFn<void()> step;
+        step = [&] {
+            if (--left > 0)
+                q.schedule(1 + left % 13, [&] { step(); });
+        };
+        q.schedule(1, [&] { step(); });
+        q.run();
+        benchmark::DoNotOptimize(left);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(hops));
+}
+BENCHMARK(BM_EventQueueHopChain)->Arg(4096);
+
+static void
+BM_EventQueueTimerChurn(benchmark::State &state)
+{
+    // Chaos-style recovery timers: armed on the common path and
+    // cancelled on the common path. Measures scheduleTimeout +
+    // cancelTimeout round trips, including tombstone reclaim.
+    const std::size_t batch = std::size_t(state.range(0));
+    std::vector<sim::TimerId> ids(batch);
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < batch; ++i)
+            ids[i] = q.scheduleTimeout(Tick(100 + i % 1000),
+                                       [&sink] { ++sink; });
+        // Cancel all but every 16th; the survivors fire.
+        for (std::size_t i = 0; i < batch; ++i)
+            if (i % 16 != 0)
+                q.cancelTimeout(ids[i]);
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(batch));
+}
+BENCHMARK(BM_EventQueueTimerChurn)->Arg(1024)->Arg(16384);
+
+static void
+BM_EventQueueFarHorizonMix(benchmark::State &state)
+{
+    // Deadlines far beyond the ladder window land in the spill heap
+    // and migrate into buckets as the window slides over them.
+    const std::size_t batch = std::size_t(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t sink = 0;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const Tick when =
+                (i % 3 == 0) ? Tick(100000 + i * 37) : Tick(i % 800);
+            q.scheduleAt(when, [&sink] { ++sink; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(batch));
+}
+BENCHMARK(BM_EventQueueFarHorizonMix)->Arg(16384);
+
+static void
 BM_CacheAccess(benchmark::State &state)
 {
     mem::Cache cache(mem::CacheConfig{std::uint64_t(state.range(0)),

@@ -14,6 +14,17 @@
 
 namespace griffin::core {
 
+struct MigrationExecutor::BatchState
+{
+    std::vector<MigrationCandidate> moves;
+    std::size_t remaining = 0;
+    bool aborted = false;
+    sim::TimerId timer = sim::invalidTimerId;
+    std::vector<bool> landed;
+    /** The driver's completion; exactly one side moves it out. */
+    sim::EventFn allDone;
+};
+
 MigrationExecutor::MigrationExecutor(sim::Engine &engine,
                                      ic::Network &network,
                                      mem::PageTable &pt,
@@ -41,7 +52,8 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
     if (obs::TraceSession::activeFor(obs::CatMigration)) {
         const Tick begin = _engine.now();
         const std::size_t npages = batch.moves.size();
-        done = [this, begin, npages, source, done = std::move(done)] {
+        done = sim::boxed([this, begin, npages, source,
+                           done = std::move(done)] {
             if (auto *tr =
                     obs::TraceSession::activeFor(obs::CatMigration)) {
                 tr->complete(obs::CatMigration, "executor",
@@ -51,15 +63,17 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
                                  .add("pages", npages));
             }
             done();
-        };
+        });
     }
 
-    // Shared state for the continuation chain.
-    auto moves = std::make_shared<std::vector<MigrationCandidate>>(
-        batch.moves);
+    // Shared state for the continuation chain: one heap object per
+    // batch, captured by pointer everywhere downstream.
+    auto state = std::make_shared<BatchState>();
+    state->moves = batch.moves;
+    state->allDone = std::move(done);
     auto pages = std::make_shared<std::vector<PageId>>();
-    pages->reserve(moves->size());
-    for (const auto &m : *moves)
+    pages->reserve(state->moves.size());
+    for (const auto &m : state->moves)
         pages->push_back(m.page);
     std::sort(pages->begin(), pages->end());
 
@@ -73,108 +87,12 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
     GLOG(Trace, "executor: batch of " << pages->size()
                 << " pages from gpu " << source);
 
-    auto transfer_phase = [this, moves, source,
-                           done = std::move(done)]() mutable {
-        // Shared between the per-page completions and the batch
-        // timeout: exactly one side sends the drain reply.
-        struct BatchState
-        {
-            std::size_t remaining = 0;
-            bool aborted = false;
-            sim::TimerId timer = sim::invalidTimerId;
-            std::vector<bool> landed;
-        };
-        auto state = std::make_shared<BatchState>();
-        state->remaining = moves->size();
-        state->landed.assign(moves->size(), false);
-        auto all_done = std::make_shared<sim::EventFn>(std::move(done));
-        for (std::size_t i = 0; i < moves->size(); ++i) {
-            const auto &move = (*moves)[i];
-            ++pagesMigrated;
-            ++migrationsByClass[std::size_t(move.reason)];
-            _pmcs[move.from]->transferPage(
-                move.page, move.to,
-                [this, move, i, state, all_done] {
-                    if (state->aborted) {
-                        // The batch timeout already gave up on this
-                        // page and replayed its parked translations
-                        // against the old location: the page must not
-                        // move anymore.
-                        ++lateTransferCompletions;
-                        return;
-                    }
-                    state->landed[i] = true;
-                    _pageTable.setLocation(move.page, move.to);
-                    _iommu.onMigrationDone(move.page);
-                    if (--state->remaining == 0) {
-                        if (state->timer != sim::invalidTimerId)
-                            _engine.cancelTimeout(state->timer);
-                        // Completion notification back to the driver.
-                        _network.send(move.to, cpuDeviceId,
-                                      ic::MessageSizes::drainReply,
-                                      std::move(*all_done));
-                    }
-                });
-        }
-        if (_injector && _injector->config().migrationTimeout > 0) {
-            const Tick timeout = _injector->config().migrationTimeout;
-            state->timer = _engine.scheduleTimeout(
-                timeout,
-                [this, moves, source, state, all_done, timeout] {
-                    GHPROF_SCOPE("acud", "batch_timeout");
-                    if (state->remaining == 0)
-                        return;
-                    // Abort every page still in flight: it stays at
-                    // its source, the parked translations replay
-                    // against the unchanged page table, and the DPC
-                    // may re-select it in a later period.
-                    state->aborted = true;
-                    ++batchesAborted;
-                    std::size_t stuck = 0;
-                    for (std::size_t i = 0; i < moves->size(); ++i) {
-                        if (state->landed[i])
-                            continue;
-                        ++stuck;
-                        const auto &move = (*moves)[i];
-                        mem::PageInfo &pi =
-                            _pageTable.info(move.page);
-                        pi.migrating = false;
-                        pi.migrationPending = false;
-                        _injector->noteFallback();
-                        _injector->noteMigrationTimeout();
-                        obs::PageStats::recordActive(
-                            obs::PageEvent::MigrationAbort, move.page,
-                            move.from, move.to, _engine.now());
-                        obs::PageStats::recordActive(
-                            obs::PageEvent::Recovery, move.page,
-                            move.from, move.to, _engine.now());
-                        _iommu.onMigrationDone(move.page);
-                    }
-                    _injector->noteRecoveryCycles(timeout);
-                    if (auto *tr = obs::TraceSession::activeFor(
-                            obs::CatChaos)) {
-                        tr->instant(obs::CatChaos, "executor",
-                                    "batch_timeout", _engine.now(),
-                                    obs::TraceArgs()
-                                        .add("source", source)
-                                        .add("stuck", stuck));
-                    }
-                    // Unblock the driver-side chain.
-                    _network.send(source, cpuDeviceId,
-                                  ic::MessageSizes::drainReply,
-                                  std::move(*all_done));
-                });
-        }
-    };
-
     // 2. Drain command travels to the source GPU.
     _network.send(cpuDeviceId, source, ic::MessageSizes::drainCommand,
-                  [this, src_gpu, pages, moves,
-                   transfer_phase = std::move(transfer_phase)]() mutable {
-        const bool selective = _useAcud;
-        auto after_quiesce = [this, src_gpu, pages, selective,
-                              transfer_phase = std::move(transfer_phase)]
-                             () mutable {
+                  [this, src_gpu, pages, state, source]() mutable {
+        auto after_quiesce = [this, src_gpu, pages, state,
+                              source]() mutable {
+            const bool selective = _useAcud;
             // 4. Selective TLB shootdown and L2/L1 flush of exactly
             // the migrating pages. (The full-flush path already
             // purged all TLBs and caches inside flushForMigration.)
@@ -230,15 +148,14 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
                                       src_gpu->config().shootdownLatency) +
                 ack_penalty;
             _engine.scheduleAt(resume_at,
-                               [src_gpu,
-                                transfer_phase = std::move(transfer_phase)]
-                               () mutable {
+                               [this, src_gpu, state,
+                                source]() mutable {
                 GHPROF_SCOPE("acud", "resume");
                 // 5. Continue: execution restarts before the data
                 // moves (paper Figure 7).
                 src_gpu->resumeAllCus();
                 // 6. Transfers stream out concurrently.
-                transfer_phase();
+                transferPhase(source, std::move(state));
             });
         };
 
@@ -250,6 +167,93 @@ MigrationExecutor::executeBatch(const MigrationBatch &batch,
             src_gpu->flushForMigration(std::move(after_quiesce));
         }
     });
+}
+
+void
+MigrationExecutor::transferPhase(DeviceId source,
+                                 std::shared_ptr<BatchState> state)
+{
+    // Per-page completions and the batch timeout arbitrate through
+    // the shared state: exactly one side sends the drain reply.
+    state->remaining = state->moves.size();
+    state->landed.assign(state->moves.size(), false);
+    for (std::size_t i = 0; i < state->moves.size(); ++i) {
+        const auto &move = state->moves[i];
+        ++pagesMigrated;
+        ++migrationsByClass[std::size_t(move.reason)];
+        _pmcs[move.from]->transferPage(
+            move.page, move.to,
+            [this, i, state] {
+                if (state->aborted) {
+                    // The batch timeout already gave up on this
+                    // page and replayed its parked translations
+                    // against the old location: the page must not
+                    // move anymore.
+                    ++lateTransferCompletions;
+                    return;
+                }
+                state->landed[i] = true;
+                const auto &move = state->moves[i];
+                _pageTable.setLocation(move.page, move.to);
+                _iommu.onMigrationDone(move.page);
+                if (--state->remaining == 0) {
+                    if (state->timer != sim::invalidTimerId)
+                        _engine.cancelTimeout(state->timer);
+                    // Completion notification back to the driver.
+                    _network.send(move.to, cpuDeviceId,
+                                  ic::MessageSizes::drainReply,
+                                  std::move(state->allDone));
+                }
+            });
+    }
+    if (_injector && _injector->config().migrationTimeout > 0) {
+        const Tick timeout = _injector->config().migrationTimeout;
+        state->timer = _engine.scheduleTimeout(
+            timeout,
+            [this, source, state, timeout] {
+                GHPROF_SCOPE("acud", "batch_timeout");
+                if (state->remaining == 0)
+                    return;
+                // Abort every page still in flight: it stays at
+                // its source, the parked translations replay
+                // against the unchanged page table, and the DPC
+                // may re-select it in a later period.
+                state->aborted = true;
+                ++batchesAborted;
+                std::size_t stuck = 0;
+                for (std::size_t i = 0; i < state->moves.size(); ++i) {
+                    if (state->landed[i])
+                        continue;
+                    ++stuck;
+                    const auto &move = state->moves[i];
+                    mem::PageInfo &pi = _pageTable.info(move.page);
+                    pi.migrating = false;
+                    pi.migrationPending = false;
+                    _injector->noteFallback();
+                    _injector->noteMigrationTimeout();
+                    obs::PageStats::recordActive(
+                        obs::PageEvent::MigrationAbort, move.page,
+                        move.from, move.to, _engine.now());
+                    obs::PageStats::recordActive(
+                        obs::PageEvent::Recovery, move.page,
+                        move.from, move.to, _engine.now());
+                    _iommu.onMigrationDone(move.page);
+                }
+                _injector->noteRecoveryCycles(timeout);
+                if (auto *tr = obs::TraceSession::activeFor(
+                        obs::CatChaos)) {
+                    tr->instant(obs::CatChaos, "executor",
+                                "batch_timeout", _engine.now(),
+                                obs::TraceArgs()
+                                    .add("source", source)
+                                    .add("stuck", stuck));
+                }
+                // Unblock the driver-side chain.
+                _network.send(source, cpuDeviceId,
+                              ic::MessageSizes::drainReply,
+                              std::move(state->allDone));
+            });
+    }
 }
 
 } // namespace griffin::core

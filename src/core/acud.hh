@@ -18,6 +18,7 @@
 #define GRIFFIN_CORE_ACUD_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/cpms.hh"
@@ -89,7 +90,17 @@ class MigrationExecutor
     bool _useAcud;
     sys::FaultInjector *_injector = nullptr;
 
+    /**
+     * Shared state of one batch's transfer phase: the moves, the
+     * landed/remaining accounting that the per-page completions and
+     * the batch timeout arbitrate over (exactly one side sends the
+     * drain reply), and the driver's completion callback. One heap
+     * object per batch; every continuation captures the shared_ptr.
+     */
+    struct BatchState;
+
     gpu::Gpu *gpuOf(DeviceId dev) { return _gpus[dev - 1]; }
+    void transferPhase(DeviceId source, std::shared_ptr<BatchState> state);
 };
 
 } // namespace griffin::core

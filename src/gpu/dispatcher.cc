@@ -32,10 +32,10 @@ Dispatcher::launchKernel(wl::KernelLaunch kernel, sim::EventFn on_done)
         auto done = std::move(_kernelDone);
         _kernelDone = nullptr;
         _engine.schedule(_dispatchLatency,
-                         [fn = std::move(done)] {
+                         sim::boxed([fn = std::move(done)] {
                              GHPROF_SCOPE("dispatcher", "kernel_done");
                              fn();
-                         });
+                         }));
         return;
     }
 

@@ -127,26 +127,27 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
     if (_probe)
         _probe(_engine.now(), _id, page);
 
+    // One heap box carries the access (callback included) through the
+    // whole chain; each hop captures {this, pointer}, which stays
+    // inside the event's inline storage.
+    auto req = std::make_unique<CuAccessReq>(
+        CuAccessReq{cu_id, vaddr, page, is_write, std::move(done)});
+
     // L1 TLB.
-    _engine.schedule(_l1Tlbs[cu_id].latency(), [this, cu_id, vaddr, page,
-                                                is_write,
-                                                done = std::move(done)]
-                                               () mutable {
+    _engine.schedule(_l1Tlbs[cu_id].latency(),
+                     [this, r = std::move(req)]() mutable {
         GHPROF_SCOPE("gpu", "l1_tlb");
-        if (auto loc = _l1Tlbs[cu_id].lookup(page)) {
-            haveTranslation(cu_id, vaddr, is_write, *loc, std::move(done));
+        if (auto loc = _l1Tlbs[r->cuId].lookup(r->page)) {
+            haveTranslation(*loc, std::move(r));
             return;
         }
         // L2 TLB.
-        _engine.schedule(_l2Tlb.latency(), [this, cu_id, vaddr, page,
-                                            is_write,
-                                            done = std::move(done)]
-                                           () mutable {
+        _engine.schedule(_l2Tlb.latency(),
+                         [this, r = std::move(r)]() mutable {
             GHPROF_SCOPE("gpu", "l2_tlb");
-            if (auto loc = _l2Tlb.lookup(page)) {
-                _l1Tlbs[cu_id].fill(page, *loc);
-                haveTranslation(cu_id, vaddr, is_write, *loc,
-                                std::move(done));
+            if (auto loc = _l2Tlb.lookup(r->page)) {
+                _l1Tlbs[r->cuId].fill(r->page, *loc);
+                haveTranslation(*loc, std::move(r));
                 return;
             }
             // IOMMU over the fabric. The miss time here is the span
@@ -154,21 +155,20 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
             ++xlatRequestsSent;
             const Tick miss_at = _engine.now();
             _network.send(_id, cpuDeviceId, ic::MessageSizes::xlatRequest,
-                          [this, cu_id, vaddr, page, is_write, miss_at,
-                           done = std::move(done)]() mutable {
+                          [this, miss_at, r = std::move(r)]() mutable {
                 GHPROF_SCOPE("gpu", "xlat_request");
+                const PageId page = r->page;
+                const bool is_write = r->isWrite;
                 _iommu.request(_id, page, is_write,
-                               [this, cu_id, vaddr, page, is_write,
-                                done = std::move(done)]
+                               [this, r = std::move(r)]
                                (xlat::XlatReply reply) mutable {
                     // Remote translations are never cached in the GPU
                     // TLBs (paper SS II-B).
                     if (reply.cacheable) {
-                        _l1Tlbs[cu_id].fill(page, reply.location);
-                        _l2Tlb.fill(page, reply.location);
+                        _l1Tlbs[r->cuId].fill(r->page, reply.location);
+                        _l2Tlb.fill(r->page, reply.location);
                     }
-                    haveTranslation(cu_id, vaddr, is_write,
-                                    reply.location, std::move(done));
+                    haveTranslation(reply.location, std::move(r));
                 },
                 miss_at);
             });
@@ -177,36 +177,35 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
 }
 
 void
-Gpu::haveTranslation(unsigned cu_id, Addr vaddr, bool is_write,
-                     DeviceId location, sim::EventFn done)
+Gpu::haveTranslation(DeviceId location, CuAccessPtr r)
 {
     if (location == _id) {
         ++localAccesses;
-        const PageId page = pageOf(vaddr);
-        enterDataPhase(page);
-        localAccess(cu_id, vaddr, is_write,
-                    [this, page, done = std::move(done)]() mutable {
-                        leaveDataPhase(page);
-                        done();
-                    });
+        enterDataPhase(r->page);
+        localAccess(std::move(r));
     } else {
         ++remoteAccesses;
         obs::TimeSeries::countActive(
             obs::TimeSeries::Series::DcaAccesses);
-        _router.remoteAccess(_id, location, vaddr, is_write,
-                             std::move(done));
+        _router.remoteAccess(_id, location, r->vaddr, r->isWrite,
+                             std::move(r->done));
     }
 }
 
 void
-Gpu::localAccess(unsigned cu_id, Addr vaddr, bool is_write,
-                 sim::EventFn done)
+Gpu::finishLocal(CuAccessPtr r)
 {
-    mem::Cache &l1 = _l1s[cu_id];
-    _engine.schedule(l1.latency(), [this, &l1, vaddr, is_write,
-                                    done = std::move(done)]() mutable {
+    leaveDataPhase(r->page);
+    r->done();
+}
+
+void
+Gpu::localAccess(CuAccessPtr req)
+{
+    mem::Cache &l1 = _l1s[req->cuId];
+    _engine.schedule(l1.latency(), [this, &l1, r = std::move(req)]() mutable {
         GHPROF_SCOPE("gpu", "l1_cache");
-        const auto r1 = l1.access(vaddr, is_write);
+        const auto r1 = l1.access(r->vaddr, r->isWrite);
         if (r1.writeback) {
             // Dirty L1 victim drains into the L2 asynchronously.
             const Addr wb = r1.writebackAddr;
@@ -219,28 +218,32 @@ Gpu::localAccess(unsigned cu_id, Addr vaddr, bool is_write,
             });
         }
         if (r1.hit) {
-            done();
+            finishLocal(std::move(r));
             return;
         }
 
         // L1 miss: cross the XBar to the shared L2.
         _engine.schedule(_config.xbarLatency + _l2.latency(),
-                         [this, vaddr, is_write,
-                          done = std::move(done)]() mutable {
+                         [this, r = std::move(r)]() mutable {
             GHPROF_SCOPE("gpu", "l2_cache");
-            const auto r2 = _l2.access(vaddr, is_write);
+            const auto r2 = _l2.access(r->vaddr, r->isWrite);
             if (r2.writeback)
                 _dram.access(_engine.now(), r2.writebackAddr,
                              _config.lineBytes, true);
             if (r2.hit) {
-                _engine.schedule(_config.xbarLatency, std::move(done));
+                _engine.schedule(_config.xbarLatency,
+                                 [this, r = std::move(r)]() mutable {
+                    finishLocal(std::move(r));
+                });
                 return;
             }
             // L2 miss: local HBM (write-allocate reads the line).
-            const Tick ready = _dram.access(_engine.now(), vaddr,
+            const Tick ready = _dram.access(_engine.now(), r->vaddr,
                                             _config.lineBytes, false);
             _engine.scheduleAt(ready + _config.xbarLatency,
-                               std::move(done));
+                               [this, r = std::move(r)]() mutable {
+                finishLocal(std::move(r));
+            });
         });
     });
 }
@@ -300,14 +303,14 @@ Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
     if (obs::TraceSession::activeFor(obs::CatDrain)) {
         const Tick begin = _engine.now();
         const std::size_t npages = pages->size();
-        done = [this, begin, npages, done = std::move(done)] {
+        done = sim::boxed([this, begin, npages, done = std::move(done)] {
             if (auto *tr = obs::TraceSession::activeFor(obs::CatDrain)) {
                 tr->complete(obs::CatDrain, "gpu" + std::to_string(_id),
                              "acud_drain", begin, _engine.now(),
                              obs::TraceArgs().add("pages", npages));
             }
             done();
-        };
+        });
     }
 
     // Pause the workgroup schedulers: no new instructions issue while
@@ -319,7 +322,7 @@ Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
     // wait only for accesses that target the migrating pages.
     _drainSet = std::move(pages);
     _engine.schedule(_config.drainCheckLatency,
-                     [this, done = std::move(done)]() mutable {
+                     sim::boxed([this, done = std::move(done)]() mutable {
         GHPROF_SCOPE("gpu", "drain_check");
         if (drainSatisfied()) {
             ++drainsImmediate;
@@ -328,7 +331,7 @@ Gpu::drainForPages(std::shared_ptr<const std::vector<PageId>> pages,
             return;
         }
         _drainDone = std::move(done);
-    });
+    }));
 }
 
 void

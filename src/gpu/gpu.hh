@@ -224,10 +224,27 @@ class Gpu : public CuMemoryInterface
 
     void tryDispatchWorkgroups();
     void onWorkgroupDone(unsigned cu_idx);
-    void haveTranslation(unsigned cu_id, Addr vaddr, bool is_write,
-                         DeviceId location, sim::EventFn done);
-    void localAccess(unsigned cu_id, Addr vaddr, bool is_write,
-                     sim::EventFn done);
+
+    /**
+     * One CU access in flight through the translation + data path.
+     * The whole chain (TLB hops, IOMMU round trip, cache hops) shares
+     * this single heap box; every hop's lambda captures just
+     * {this, pointer}, which fits a sim::InlineEvent inline.
+     */
+    struct CuAccessReq
+    {
+        unsigned cuId;
+        Addr vaddr;
+        PageId page;
+        bool isWrite;
+        sim::EventFn done;
+    };
+    using CuAccessPtr = std::unique_ptr<CuAccessReq>;
+
+    void haveTranslation(DeviceId location, CuAccessPtr r);
+    void localAccess(CuAccessPtr r);
+    /** End of the local data phase: leave the page, run done. */
+    void finishLocal(CuAccessPtr r);
     bool drainSatisfied() const;
     void maybeFinishDrain();
 };

@@ -62,7 +62,9 @@ Pmc::startTransfer(PageId page, DeviceId dst, sim::EventFn done, FaultId fid)
         }
     }
 
-    runAttempt(page, dst, std::move(done), fid, 1, _engine.now());
+    runAttempt(std::make_unique<Xfer>(Xfer{page, Addr(page) * _pageBytes,
+                                           dst, fid, 1, _engine.now(),
+                                           std::move(done)}));
 }
 
 void
@@ -83,32 +85,30 @@ Pmc::releaseSlot()
 }
 
 void
-Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
-                unsigned attempt, Tick begin)
+Pmc::runAttempt(XferPtr xf)
 {
     // Source DRAM read: pages are page-aligned, so use the page base
     // as the address for channel selection.
-    const Addr base = Addr(page) * _pageBytes;
     const Tick read_done =
-        _drams[_self]->access(_engine.now(), base,
+        _drams[_self]->access(_engine.now(), xf->base,
                               std::uint32_t(_pageBytes), false);
 
     // Stream across the fabric once the read completes, then commit
     // into the destination DRAM. An injected failure strikes at
     // stream arrival, before the destination write.
-    _engine.scheduleAt(read_done, [this, page, base, dst, fid, attempt,
-                                   begin,
-                                   done = std::move(done)]() mutable {
+    _engine.scheduleAt(read_done, [this, x = std::move(xf)]() mutable {
         GHPROF_SCOPE("pmc", "read_done");
+        // Hoist: the lambda argument moves x, and argument evaluation
+        // order is unspecified, so x->dst must be read first.
+        const DeviceId dst = x->dst;
         _network.send(
             _self, dst, _pageBytes + ic::MessageSizes::header,
-            [this, page, base, dst, fid, attempt, begin,
-             done = std::move(done)]() mutable {
+            [this, x = std::move(x)]() mutable {
                 GHPROF_SCOPE("pmc", "stream_arrive");
                 if (_injector && _injector->failDmaTransfer()) {
                     ++transfersFailed;
                     const auto &cc = _injector->config();
-                    if (attempt > cc.dmaMaxRetries) {
+                    if (x->attempt > cc.dmaMaxRetries) {
                         // Retry budget exhausted: abandon the
                         // transfer. Its completion never fires; the
                         // arming side's migration timeout (driver or
@@ -116,26 +116,26 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                         ++transfersAbandoned;
                         _injector->noteDmaAbandoned();
                         obs::PageStats::recordActive(
-                            obs::PageEvent::Recovery, page, _self, dst,
-                            _engine.now());
+                            obs::PageEvent::Recovery, x->page, _self,
+                            x->dst, _engine.now());
                         if (auto *tr = obs::TraceSession::activeFor(
                                 obs::CatChaos)) {
                             tr->instant(obs::CatChaos,
                                         "pmc" + std::to_string(_self),
                                         "dma_abandoned", _engine.now(),
                                         obs::TraceArgs()
-                                            .add("page", page)
-                                            .add("attempts", attempt));
+                                            .add("page", x->page)
+                                            .add("attempts", x->attempt));
                         }
                         releaseSlot();
                         return;
                     }
                     const Tick backoff = cc.dmaRetryBackoff
-                                         << (attempt - 1);
+                                         << (x->attempt - 1);
                     _injector->noteRetry();
                     _injector->noteRecoveryCycles(backoff);
                     obs::PageStats::recordActive(
-                        obs::PageEvent::Recovery, page, _self, dst,
+                        obs::PageEvent::Recovery, x->page, _self, x->dst,
                         _engine.now());
                     if (auto *tr = obs::TraceSession::activeFor(
                             obs::CatChaos)) {
@@ -143,28 +143,24 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                                     "pmc" + std::to_string(_self),
                                     "dma_retry", _engine.now(),
                                     obs::TraceArgs()
-                                        .add("page", page)
-                                        .add("attempt", attempt)
+                                        .add("page", x->page)
+                                        .add("attempt", x->attempt)
                                         .add("backoff", backoff));
                     }
+                    ++x->attempt;
                     _engine.schedule(
-                        backoff,
-                        [this, page, dst, fid, attempt, begin,
-                         done = std::move(done)]() mutable {
+                        backoff, [this, x = std::move(x)]() mutable {
                             GHPROF_SCOPE("chaos", "dma_retry");
-                            runAttempt(page, dst, std::move(done), fid,
-                                       attempt + 1, begin);
+                            runAttempt(std::move(x));
                         });
                     return;
                 }
 
-                const Tick write_done = _drams[dst]->access(
-                    _engine.now(), base, std::uint32_t(_pageBytes),
+                const Tick write_done = _drams[x->dst]->access(
+                    _engine.now(), x->base, std::uint32_t(_pageBytes),
                     true);
                 _engine.scheduleAt(
-                    write_done,
-                    [this, page, dst, fid, begin,
-                     done = std::move(done)]() mutable {
+                    write_done, [this, x = std::move(x)]() mutable {
                         GHPROF_SCOPE("pmc", "write_commit");
                         const Tick end = _engine.now();
                         if (auto *m = obs::Metrics::active()) {
@@ -173,21 +169,21 @@ Pmc::runAttempt(PageId page, DeviceId dst, sim::EventFn done, FaultId fid,
                                     ? m->latency.cpuMigrationLatency
                                     : m->latency
                                           .interGpuMigrationLatency;
-                            hist.sample(double(end - begin));
+                            hist.sample(double(end - x->begin));
                         }
                         if (auto *tr = obs::TraceSession::activeFor(
                                 obs::CatMigration)) {
                             tr->complete(obs::CatMigration,
                                          "pmc" + std::to_string(_self),
-                                         "migrate_page", begin, end,
+                                         "migrate_page", x->begin, end,
                                          obs::TraceArgs()
-                                             .add("page", page)
-                                             .add("dst", dst));
+                                             .add("page", x->page)
+                                             .add("dst", x->dst));
                         }
                         obs::FaultSpans::markActive(
-                            fid, obs::Stage::Transfer, end);
+                            x->fid, obs::Stage::Transfer, end);
                         releaseSlot();
-                        done();
+                        x->done();
                     });
             });
     });

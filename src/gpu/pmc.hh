@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/interconnect/switch.hh"
@@ -104,10 +105,27 @@ class Pmc
     std::deque<Pending> _pending;
     sys::FaultInjector *_injector = nullptr;
 
+    /**
+     * One in-flight DMA stream. The attempt chain (read, stream,
+     * commit, plus any retry loops) shares this single heap box;
+     * every hop's lambda captures {this, pointer}, which fits the
+     * event's inline storage.
+     */
+    struct Xfer
+    {
+        PageId page;
+        Addr base;
+        DeviceId dst;
+        FaultId fid;
+        unsigned attempt;
+        Tick begin;
+        sim::EventFn done;
+    };
+    using XferPtr = std::unique_ptr<Xfer>;
+
     void startTransfer(PageId page, DeviceId dst, sim::EventFn done,
                        FaultId fid);
-    void runAttempt(PageId page, DeviceId dst, sim::EventFn done,
-                    FaultId fid, unsigned attempt, Tick begin);
+    void runAttempt(XferPtr xf);
     void releaseSlot();
 };
 

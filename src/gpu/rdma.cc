@@ -32,21 +32,23 @@ Rdma::serve(Addr addr, bool is_write, DeviceId reply_to,
         ? ic::MessageSizes::dcaWriteAck
         : ic::MessageSizes::dcaReadReply;
 
-    sim::EventFn finish = [this, reply_to, reply_bytes,
-                           done = std::move(done),
-                           leave = std::move(leave_data_phase)]() mutable {
-        GHPROF_SCOPE("rdma", "dca_finish");
-        if (leave)
-            leave();
-        _network.send(_self, reply_to, reply_bytes, std::move(done));
-    };
+    // The two continuations (requester's done + the data-phase exit)
+    // share one box; the service hops below capture only the wrapper.
+    sim::EventFn finish =
+        sim::boxed([this, reply_to, reply_bytes, done = std::move(done),
+                    leave = std::move(leave_data_phase)]() mutable {
+            GHPROF_SCOPE("rdma", "dca_finish");
+            if (leave)
+                leave();
+            _network.send(_self, reply_to, reply_bytes, std::move(done));
+        });
 
     // Per-line DCA service spans. CatDca is off by default — remote
     // traffic is per-cache-line and would dominate the trace.
     if (obs::TraceSession::activeFor(obs::CatDca)) {
         const Tick begin = _engine.now();
-        finish = [this, addr, is_write, reply_to, begin,
-                  finish = std::move(finish)]() mutable {
+        finish = sim::boxed([this, addr, is_write, reply_to, begin,
+                             finish = std::move(finish)]() mutable {
             if (auto *tr = obs::TraceSession::activeFor(obs::CatDca)) {
                 tr->complete(obs::CatDca, "rdma" + std::to_string(_self),
                              is_write ? "dca_write" : "dca_read", begin,
@@ -56,7 +58,7 @@ Rdma::serve(Addr addr, bool is_write, DeviceId reply_to,
                                  .add("from", reply_to));
             }
             finish();
-        };
+        });
     }
 
     // L2 lookup; fall through to DRAM on a miss. Dirty victims write

@@ -15,8 +15,23 @@ void
 Link::degrade(Tick until, double factor)
 {
     assert(factor > 0.0 && factor <= 1.0);
-    _degradeUntil = std::max(_degradeUntil, until);
-    _degradeFactor = factor;
+    // A new window makes an existing one redundant only when it is at
+    // least as long AND at least as degraded; otherwise both stay and
+    // the overlap resolves to the smaller factor in degradeFactorAt.
+    std::erase_if(_windows, [&](const Window &w) {
+        return w.until <= until && w.factor >= factor;
+    });
+    _windows.push_back(Window{until, factor});
+}
+
+double
+Link::degradeFactorAt(Tick now) const
+{
+    double factor = 1.0;
+    for (const Window &w : _windows)
+        if (now < w.until)
+            factor = std::min(factor, w.factor);
+    return factor;
 }
 
 Tick
@@ -26,9 +41,14 @@ Link::send(Tick now, unsigned dir, std::uint64_t bytes)
     assert(bytes > 0);
 
     const Tick start = std::max(now, _nextFree[dir]);
+    // Simulation time is monotone, so any later send (either
+    // direction) starts at or after now: windows closed by now are
+    // dead and can be dropped.
+    std::erase_if(_windows, [&](const Window &w) { return w.until <= now; });
     double bpc = _config.bytesPerCycle;
-    if (start < _degradeUntil) {
-        bpc *= _degradeFactor;
+    const double factor = degradeFactorAt(start);
+    if (factor < 1.0) {
+        bpc *= factor;
         ++degradedMessages;
     }
     const Tick service =

@@ -13,6 +13,7 @@
 #define GRIFFIN_IC_LINK_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "src/sim/types.hh"
 
@@ -52,14 +53,30 @@ class Link
     Tick nextFree(unsigned dir) const { return _nextFree[dir]; }
 
     /**
-     * Open (or extend) a bandwidth-degradation window: messages that
-     * start before @p until serialize at @p factor of the configured
-     * bandwidth. Models a fabric fault (link retrain / lane drop).
+     * Open a bandwidth-degradation window: messages that start before
+     * @p until serialize at @p factor of the configured bandwidth.
+     * Models a fabric fault (link retrain / lane drop). Windows may
+     * overlap; where they do, the most-degraded (smallest) factor
+     * wins — a later, milder fault never undoes a severe one that is
+     * still in effect.
      */
     void degrade(Tick until, double factor);
 
     /** True when a message starting at @p now would be degraded. */
-    bool degradedAt(Tick now) const { return now < _degradeUntil; }
+    bool degradedAt(Tick now) const
+    {
+        for (const Window &w : _windows)
+            if (now < w.until)
+                return true;
+        return false;
+    }
+
+    /**
+     * The bandwidth factor applied to a message starting at @p now:
+     * the minimum over all windows still open at that time, 1.0 when
+     * none is.
+     */
+    double degradeFactorAt(Tick now) const;
 
     /** @name Statistics @{ */
     std::uint64_t messages[2] = {0, 0};
@@ -70,10 +87,21 @@ class Link
     /** @} */
 
   private:
+    /** One degradation window; open until @c until (exclusive). */
+    struct Window
+    {
+        Tick until;
+        double factor;
+    };
+
     LinkConfig _config;
     Tick _nextFree[2] = {0, 0};
-    Tick _degradeUntil = 0;
-    double _degradeFactor = 1.0;
+    /**
+     * Open degradation windows. Kept minimal: degrade() drops windows
+     * dominated by a new one, send() prunes windows that have closed.
+     * Overlaps are resolved by taking the minimum factor.
+     */
+    std::vector<Window> _windows;
 };
 
 } // namespace griffin::ic

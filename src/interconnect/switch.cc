@@ -103,10 +103,10 @@ Network::send(DeviceId src, DeviceId dst, std::uint64_t bytes,
     // The receiver's completion callback runs as this event; the scope
     // attributes it (and any un-scoped work it does) to the network
     // unless the callback opens its own, more specific scope.
-    _engine.scheduleAt(at_dst, [fn = std::move(deliver)] {
+    _engine.scheduleAt(at_dst, sim::boxed([fn = std::move(deliver)] {
         GHPROF_SCOPE("network", "deliver");
         fn();
-    });
+    }));
 }
 
 } // namespace griffin::ic

@@ -16,7 +16,7 @@
  *    Scopes nest; a scope's *self time* is its elapsed time minus the
  *    elapsed time of its children, so bucket self-times partition the
  *    measured time exactly (no double counting).
- *  - The dispatch bracket's own self time (the std::function call and
+ *  - The dispatch bracket's own self time (the InlineEvent call and
  *    scope setup around the outermost scope) is attributed to that
  *    outermost scope's bucket — it is overhead *of* that component's
  *    event. Only dispatches that never open a scope land in the

@@ -5,23 +5,52 @@
  * Events scheduled for the same tick execute in the order they were
  * scheduled (FIFO), which makes whole-system simulation results fully
  * reproducible for a given seed.
+ *
+ * Internally the queue is a hybrid three-tier structure tuned to the
+ * schedule shapes the simulator actually produces (see DESIGN.md
+ * "Scheduler internals"):
+ *
+ *  - a SAME-TICK RING: a FIFO of events for the current tick. Zero-
+ *    delay continuations — the dominant shape in CU/GPU/dispatcher
+ *    code — append here and pop in O(1) with no ordering work at all;
+ *  - a LADDER of per-tick buckets covering a sliding window of the
+ *    near future. An insert indexes its bucket directly (O(1)); when
+ *    time reaches a bucket its vector is handed to the ring wholesale.
+ *    Within a bucket, append order IS schedule order, so FIFO-within-
+ *    tick holds by construction;
+ *  - a SPILL HEAP for events beyond the window (periodic-hook-scale
+ *    delays, recovery deadlines). When the near future empties, the
+ *    window slides to the spill's earliest event and everything
+ *    inside the new window redistributes into the ladder in (when,
+ *    seq) order, preserving the global FIFO contract.
+ *
+ * Event callbacks are sim::InlineFn (inline capture storage, no
+ * per-event heap allocation); cancellable timeouts live in
+ * generation-checked slots so cancelTimeout() is O(1) and destroys
+ * the callback immediately.
  */
 
 #ifndef GRIFFIN_SIM_EVENT_QUEUE_HH
 #define GRIFFIN_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
+#include "src/sim/inline_fn.hh"
 #include "src/sim/types.hh"
 
 namespace griffin::sim {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback type executed when an event fires: a move-only callable
+ * with inline capture storage. A capture that does not fit (e.g. a
+ * lambda capturing another event) is a compile error; box it with
+ * sim::boxed() — see inline_fn.hh.
+ */
+using InlineEvent = InlineFn<void()>;
+using EventFn = InlineEvent;
 
 /** Handle of a cancellable timeout; 0 is never a valid id. */
 using TimerId = std::uint64_t;
@@ -42,6 +71,8 @@ class EventQueue
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -72,33 +103,30 @@ class EventQueue
     TimerId scheduleTimeout(Tick delay, EventFn fn);
 
     /**
-     * Cancel a pending timeout. The callback is dropped and the entry
-     * no longer counts as a pending event (so a run can drain past
-     * it).
+     * Cancel a pending timeout in O(1). The callback is destroyed
+     * immediately (any resources it captured are released now, not
+     * when the deadline would have passed) and the entry no longer
+     * counts as a pending event, so a run can drain past it.
      * @retval true the timeout was pending and is now cancelled.
      * @retval false unknown id, already fired, or already cancelled.
      */
     bool cancelTimeout(TimerId id);
 
     /** Timeouts armed and not yet fired or cancelled. */
-    std::size_t pendingTimeouts() const { return _pendingTimers.size(); }
+    std::size_t pendingTimeouts() const { return _pendingTimerCount; }
 
     /** True when no events remain (cancelled timeouts excluded). */
-    bool empty() const { return size() == 0; }
+    bool empty() const { return _size == 0; }
 
     /**
-     * Time of the earliest pending event; maxTick when empty. May
-     * conservatively report a cancelled timeout's deadline until that
-     * entry is lazily pruned by runOne().
+     * Time of the earliest pending event; maxTick when empty.
+     * Cancelled timeouts never contribute: a timeout's deadline stops
+     * being reported the moment cancelTimeout() returns.
      */
-    Tick
-    nextTime() const
-    {
-        return _heap.empty() ? maxTick : _heap.top().when;
-    }
+    Tick nextTime() const;
 
     /** Number of pending events (cancelled timeouts excluded). */
-    std::size_t size() const { return _heap.size() - _cancelled.size(); }
+    std::size_t size() const { return _size; }
 
     /**
      * Execute the single earliest event.
@@ -111,23 +139,51 @@ class EventQueue
     Tick run();
 
     /**
-     * Run all events with time <= @p limit. Time advances to @p limit
-     * (or stays at the last executed event if the queue drained first).
-     * @return the simulated time after running.
+     * Run all events with time <= @p limit, then advance the clock to
+     * @p limit unconditionally — even when the queue drained early or
+     * was empty to begin with (the caller asked to simulate up to
+     * @p limit, so that much time has passed; watchdog quiesce checks
+     * after a drain observe now() == limit). @return the simulated
+     * time after running, i.e. max(limit, now()).
      */
     Tick runUntil(Tick limit);
 
     /** Total number of events executed since construction. */
     std::uint64_t eventsExecuted() const { return _executed; }
 
+    /** @name Introspection for tests @{ */
+
+    /**
+     * Entries physically resident across all three tiers, including
+     * cancelled-timeout tombstones not yet reclaimed. Bounded-memory
+     * tests assert this stays close to size().
+     */
+    std::size_t residentEntries() const;
+
+    /** Timer slots ever allocated (the free list recycles them). */
+    std::size_t timerSlotsAllocated() const { return _timerSlots.size(); }
+
+    /** @} */
+
   private:
+    /** Number of per-tick ladder buckets; must be a power of two. */
+    static constexpr std::size_t ladderBuckets = 1024;
+    static constexpr std::size_t bitmapWords = ladderBuckets / 64;
+
     struct Entry
     {
-        Tick when;
-        std::uint64_t seq;
+        Tick when = 0;
+        /** Global schedule order; ties on when resolve by seq. */
+        std::uint64_t seq = 0;
+        /** Timer slot index + 1; 0 for a plain event. */
+        std::uint32_t timerSlot1 = 0;
+        /** Slot generation at arm time; a mismatch means cancelled. */
+        std::uint32_t timerGen = 0;
+        /** The callback. Empty for timer entries (held in the slot). */
         EventFn fn;
     };
 
+    /** Min-heap order for the spill tier: (when, seq) ascending. */
     struct Later
     {
         bool
@@ -139,18 +195,78 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    struct Bucket
+    {
+        std::vector<Entry> v;
+        /** First un-consumed entry (front pruning of cancellations). */
+        std::size_t head = 0;
+    };
+
+    /**
+     * A cancellable timeout's callback lives here, not in the queue
+     * entry, so cancelTimeout() can destroy it in O(1) by slot index.
+     * The generation increments whenever the slot is disarmed (fire
+     * or cancel), invalidating the queue entry and any stale TimerId.
+     */
+    struct TimerSlot
+    {
+        std::uint32_t gen = 1;
+        EventFn fn;
+    };
+
+    /** Tier 1: FIFO of events for the current tick. */
+    std::vector<Entry> _ring;
+    std::size_t _ringHead = 0;
+
+    /** Tier 2: per-tick buckets over [_windowBase, _windowEnd). */
+    std::array<Bucket, ladderBuckets> _ladder;
+    /** Bit i set iff _ladder[i] holds entries. */
+    std::uint64_t _bits[bitmapWords] = {};
+    Tick _windowBase = 0;
+    Tick _windowEnd = ladderBuckets;
+
+    /** Tier 3: min-heap of events at or beyond _windowEnd. */
+    std::vector<Entry> _spill;
+
     Tick _now = 0;
-    /** Starts at 1 so a seq can double as a nonzero TimerId. */
+    /** Starts at 1 so seq 0 can mean "unset" in debugging dumps. */
     std::uint64_t _nextSeq = 1;
     std::uint64_t _executed = 0;
-    /** Seqs of armed, not-yet-fired timeouts. */
-    std::unordered_set<std::uint64_t> _pendingTimers;
-    /** Cancelled entries still in the heap, pruned lazily. */
-    std::unordered_set<std::uint64_t> _cancelled;
+    /** Live (un-cancelled) events across all tiers. */
+    std::size_t _size = 0;
+    /** Cancelled-timeout tombstones still resident in a tier. */
+    std::size_t _deadEntries = 0;
+    std::size_t _pendingTimerCount = 0;
 
-    /** Drop cancelled entries off the top of the heap. */
-    void pruneCancelled();
+    std::vector<TimerSlot> _timerSlots;
+    std::vector<std::uint32_t> _freeTimerSlots;
+
+    bool alive(const Entry &e) const
+    {
+        return e.timerSlot1 == 0 ||
+               _timerSlots[e.timerSlot1 - 1].gen == e.timerGen;
+    }
+
+    void insert(Entry &&e);
+    void pushBucket(Entry &&e);
+    void setBit(std::size_t i) { _bits[i >> 6] |= 1ull << (i & 63); }
+    void clearBit(std::size_t i) { _bits[i >> 6] &= ~(1ull << (i & 63)); }
+    /** Earliest non-empty bucket in window scan order, or -1. */
+    int nextBucketIndex() const;
+    /** Hand the whole bucket (one tick's FIFO) to the empty ring. */
+    void migrateBucket(std::size_t idx);
+    /** Re-anchor the window on the spill's earliest live event. */
+    void slideWindow();
+    /** Drop consumed ring prefix once it dominates the vector. */
+    void compactRing();
+    /** Prune cancelled tombstones off the front of the pop order. */
+    void settle();
+    /** Drop all tombstone residue and re-anchor the window at now. */
+    void resetWindow();
+    /** Erase every tombstone from every tier (amortized reclaim). */
+    void compact();
+    /** Disarm a slot: destroy callback, bump generation, recycle. */
+    void releaseTimerSlot(std::uint32_t slot);
 };
 
 } // namespace griffin::sim

@@ -191,17 +191,17 @@ MultiGpuSystem::remoteAccess(DeviceId requester, DeviceId owner,
 
     if (obs::Metrics::active()) {
         const Tick begin = _engine.now();
-        done = [this, begin, done = std::move(done)] {
+        done = sim::boxed([this, begin, done = std::move(done)] {
             if (auto *m = obs::Metrics::active())
                 m->latency.remoteAccessLatency.sample(
                     double(_engine.now() - begin));
             done();
-        };
+        });
     }
 
     _network->send(requester, owner, req_bytes,
-                   [this, requester, owner, addr, is_write,
-                    done = std::move(done)]() mutable {
+                   sim::boxed([this, requester, owner, addr, is_write,
+                               done = std::move(done)]() mutable {
         if (owner == cpuDeviceId) {
             if (_griffinPolicy) {
                 _griffinPolicy->noteCpuDcaAccess(
@@ -218,7 +218,7 @@ MultiGpuSystem::remoteAccess(DeviceId requester, DeviceId owner,
         g->rdma().serve(addr, is_write, requester, std::move(done),
                         [g, page] { g->enterDataPhase(page); },
                         [g, page] { g->leaveDataPhase(page); });
-    });
+    }));
 }
 
 void

@@ -37,25 +37,28 @@ Iommu::request(DeviceId requester, PageId page, bool is_write, XlatDone done,
 
     if (origin == maxTick)
         origin = _engine.now();
-    Request req{requester, page, is_write, std::move(done), origin};
+    // The request (callback included) rides through the whole pipeline
+    // in one heap box; every hop below captures just the pointer.
+    auto req = std::make_unique<Request>(
+        Request{requester, page, is_write, std::move(done), origin});
 
     // IOTLB probe first; a hit skips the walk entirely.
-    _engine.schedule(_iotlb.latency(), [this, req = std::move(req)]() mutable {
+    _engine.schedule(_iotlb.latency(), [this, r = std::move(req)] {
         GHPROF_SCOPE("iommu", "iotlb");
         // A page under migration must park even on what would be an
         // IOTLB hit; blockPage() purges the entry, so a lookup hit
         // implies the page is stable.
-        if (auto loc = _iotlb.lookup(req.page)) {
+        if (auto loc = _iotlb.lookup(r->page)) {
             ++iotlbHits;
-            reply(req, XlatReply{*loc, *loc == req.requester});
+            reply(*r, XlatReply{*loc, *loc == r->requester});
             return;
         }
         // Coalesce with a queued or in-flight walk of the same page:
         // the walkers resolve a page once, however many requesters
         // pile up behind it (this matters after a migration, when
         // every wavefront of every GPU re-faults the page at once).
-        auto [it, first] = _walkWaiters.try_emplace(req.page);
-        it->second.push_back(std::move(req));
+        auto [it, first] = _walkWaiters.try_emplace(r->page);
+        it->second.push_back(std::move(*r));
         if (first) {
             _walkQueue.push_back(it->first);
             startWalks();
@@ -206,33 +209,34 @@ Iommu::resolve(Request req)
 }
 
 void
-Iommu::reply(const Request &req, XlatReply rep)
+Iommu::reply(Request &req, XlatReply rep)
 {
-    auto done = req.done;
+    auto done = std::move(req.done);
     const FaultId fid = req.fid;
     if (fid == invalidFaultId) {
         _network.send(cpuDeviceId, req.requester, ic::MessageSizes::xlatReply,
-                      [done = std::move(done), rep] { done(rep); });
+                      sim::boxed([done = std::move(done), rep] {
+                          done(rep);
+                      }));
         return;
     }
     // This reply retires a fault: close the span when it lands at the
     // requester, where the stalled wavefront actually resumes.
     const DeviceId requester = req.requester;
-    _network.send(cpuDeviceId, requester, ic::MessageSizes::xlatReply,
-                  [this, done = std::move(done), rep, fid, requester] {
-                      const Tick now = _engine.now();
-                      obs::FaultSpans::completeActive(fid, now);
-                      if (auto *tr =
-                              obs::TraceSession::activeFor(obs::CatFault)) {
-                          const std::string track =
-                              "gpu" + std::to_string(requester);
-                          tr->instant(obs::CatFault, track, "fault_resume",
-                                      now, obs::TraceArgs().add("fault", fid));
-                          tr->flow(obs::CatFault, track, "fault", now, fid,
-                                   obs::TraceSession::FlowPhase::End);
-                      }
-                      done(rep);
-                  });
+    _network.send(
+        cpuDeviceId, requester, ic::MessageSizes::xlatReply,
+        sim::boxed([this, done = std::move(done), rep, fid, requester] {
+            const Tick now = _engine.now();
+            obs::FaultSpans::completeActive(fid, now);
+            if (auto *tr = obs::TraceSession::activeFor(obs::CatFault)) {
+                const std::string track = "gpu" + std::to_string(requester);
+                tr->instant(obs::CatFault, track, "fault_resume", now,
+                            obs::TraceArgs().add("fault", fid));
+                tr->flow(obs::CatFault, track, "fault", now, fid,
+                         obs::TraceSession::FlowPhase::End);
+            }
+            done(rep);
+        }));
 }
 
 void

@@ -56,7 +56,13 @@ struct XlatReply
     bool cacheable = false;
 };
 
-using XlatDone = std::function<void(XlatReply)>;
+/**
+ * Completion callback of a translation request. Move-only with inline
+ * capture storage (see sim::InlineFn): requesters typically capture a
+ * per-access state pointer, which fits inline; a wrapper that captures
+ * another XlatDone must go through sim::boxed().
+ */
+using XlatDone = sim::InlineFn<void(XlatReply)>;
 
 /**
  * The IOMMU model.
@@ -190,7 +196,8 @@ class Iommu
     void startWalks();
     void finishWalk(PageId page);
     void resolve(Request req);
-    void reply(const Request &req, XlatReply rep);
+    /** Consumes req.done (the request is retired by the reply). */
+    void reply(Request &req, XlatReply rep);
 };
 
 } // namespace griffin::xlat

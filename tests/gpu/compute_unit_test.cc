@@ -33,10 +33,11 @@ class StubMemory : public CuMemoryInterface
         accesses.push_back({vaddr, is_write});
         ++inflight;
         maxInflight = std::max(maxInflight, inflight);
-        _engine.schedule(latency, [this, done = std::move(done)] {
+        _engine.schedule(latency,
+                         sim::boxed([this, done = std::move(done)] {
             --inflight;
             done();
-        });
+        }));
     }
 
     std::vector<std::pair<Addr, bool>> accesses;

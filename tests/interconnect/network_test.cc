@@ -94,6 +94,38 @@ TEST(Link, DegradeExtendsNotShrinks)
     EXPECT_TRUE(link.degradedAt(900));
 }
 
+TEST(Link, OverlappingDegradeKeepsMostDegradedFactor)
+{
+    Link link(LinkConfig{32.0, 250});
+    // A severe fault is in effect until t=1000; a milder one arrives
+    // and lasts longer. Over the overlap the severe factor must win —
+    // the milder injection must not silently repair the link.
+    link.degrade(1000, 0.25);
+    link.degrade(2000, 0.5);
+    EXPECT_DOUBLE_EQ(link.degradeFactorAt(500), 0.25);
+    // 64 B at quarter bandwidth: 8 service cycles.
+    EXPECT_EQ(link.send(0, 0, 64), 258u);
+    // After the severe window closes only the milder one applies.
+    EXPECT_DOUBLE_EQ(link.degradeFactorAt(1500), 0.5);
+    EXPECT_EQ(link.send(1500, 0, 64), 1754u);
+    // Both windows closed: full bandwidth.
+    EXPECT_FALSE(link.degradedAt(2000));
+    EXPECT_EQ(link.send(3000, 0, 64), 3252u);
+    EXPECT_EQ(link.degradedMessages, 2u);
+}
+
+TEST(Link, MilderOverlapAppliesAfterSevereWindowCloses)
+{
+    Link link(LinkConfig{32.0, 250});
+    // Injection order must not matter: severe-then-milder and
+    // milder-then-severe resolve identically over the overlap.
+    link.degrade(2000, 0.5);
+    link.degrade(1000, 0.25);
+    EXPECT_DOUBLE_EQ(link.degradeFactorAt(500), 0.25);
+    EXPECT_DOUBLE_EQ(link.degradeFactorAt(1500), 0.5);
+    EXPECT_DOUBLE_EQ(link.degradeFactorAt(2500), 1.0);
+}
+
 TEST(Network, DeliversAfterTwoHops)
 {
     sim::Engine engine;

@@ -234,6 +234,135 @@ TEST(EventQueue, RunUntilIgnoresCancelledDeadline)
     EXPECT_EQ(fired, (std::vector<Tick>{50}));
 }
 
+TEST(EventQueue, RunUntilAdvancesToLimitWhenQueueDrainsEarly)
+{
+    // The drained-early contract: the caller asked to simulate up to
+    // the limit, so that much time has passed even though the last
+    // event fired long before it. Periodic callers (watchdog quiesce
+    // checks, stats flushes) rely on observing now() == limit.
+    EventQueue q;
+    Tick lastEvent = 0;
+    q.schedule(10, [&] { lastEvent = q.now(); });
+    EXPECT_EQ(q.runUntil(500), 500u);
+    EXPECT_EQ(lastEvent, 10u);
+    EXPECT_EQ(q.now(), 500u);
+    EXPECT_TRUE(q.empty());
+
+    // Draining again from the advanced clock is idempotent, and a
+    // later event is unaffected by the artificial advance.
+    EXPECT_EQ(q.runUntil(500), 500u);
+    Tick firedAt = 0;
+    q.schedule(100, [&] { firedAt = q.now(); });
+    q.run();
+    EXPECT_EQ(firedAt, 600u);
+}
+
+TEST(EventQueue, NextTimeIsExactAfterCancel)
+{
+    // Arm a far-future recovery timer next to a near event, then
+    // cancel it: nextTime()/size()/pendingTimeouts() must all agree
+    // immediately — no tombstone may keep the dead deadline visible.
+    EventQueue q;
+    q.schedule(10, [] {});
+    const auto id = q.scheduleTimeout(1000000, [] {});
+    EXPECT_EQ(q.nextTime(), 10u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pendingTimeouts(), 1u);
+
+    EXPECT_TRUE(q.cancelTimeout(id));
+    EXPECT_EQ(q.nextTime(), 10u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pendingTimeouts(), 0u);
+
+    EXPECT_TRUE(q.runOne());
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), griffin::maxTick);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront)
+{
+    // The cancelled timeout is the *earliest* entry: nextTime() must
+    // report the first live event, not the tombstone's deadline.
+    EventQueue q;
+    const auto id = q.scheduleTimeout(5, [] {});
+    q.schedule(50, [] {});
+    EXPECT_EQ(q.nextTime(), 5u);
+    EXPECT_TRUE(q.cancelTimeout(id));
+    EXPECT_EQ(q.nextTime(), 50u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueStress, MillionTimerChurnKeepsMemoryBounded)
+{
+    // Chaos-style churn: the executor arms a recovery timer per batch
+    // and cancels nearly all of them when the transfers land. A naive
+    // tombstone scheme would accumulate one dead entry per cancel;
+    // the queue must reclaim them and recycle timer slots.
+    EventQueue q;
+    constexpr int rounds = 1000000;
+    std::uint32_t rng = 12345;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    std::vector<griffin::sim::TimerId> armed;
+    for (int i = 0; i < rounds; ++i) {
+        rng = rng * 1664525u + 1013904223u; // deterministic LCG
+        // Short deadlines land in the ladder; every 8th timer is
+        // pushed past the window into the spill heap (and is one of
+        // the cancelled ones, so spill tombstones get exercised too).
+        const Tick delay = 1 + (rng >> 24) + ((i & 7) == 3 ? 5000 : 0);
+        armed.push_back(q.scheduleTimeout(delay, [&] { ++fired; }));
+        if (armed.size() >= 8) {
+            // Cancel 7 of 8; let the survivor fire (or linger).
+            for (std::size_t k = 1; k < armed.size(); ++k)
+                if (q.cancelTimeout(armed[k]))
+                    ++cancelled;
+            armed.clear();
+        }
+        if ((i & 1023) == 0)
+            q.runUntil(q.now() + 16);
+    }
+    q.run();
+
+    EXPECT_EQ(fired + cancelled, std::uint64_t(rounds));
+    EXPECT_EQ(q.pendingTimeouts(), 0u);
+    EXPECT_EQ(q.residentEntries(), 0u);
+    // Slots recycle through the free list: the high-water mark is the
+    // peak number of simultaneously pending timers (plus tombstoned
+    // slots awaiting their entry's reclaim), not the total ever armed.
+    EXPECT_LT(q.timerSlotsAllocated(), 20000u);
+}
+
+TEST(EventQueueStress, InterleavedEventsAndCancelsStayOrdered)
+{
+    // Timer churn interleaved with plain events: cancellations must
+    // never disturb execution order of live work.
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    std::uint32_t rng = 99;
+    griffin::sim::TimerId pending = griffin::sim::invalidTimerId;
+    for (int i = 0; i < 20000; ++i) {
+        rng = rng * 1664525u + 1013904223u;
+        const Tick t = 1 + (rng % 4096);
+        q.schedule(t, [&, i] {
+            (void)i;
+            if (q.now() < last)
+                monotonic = false;
+            last = q.now();
+        });
+        if (pending != griffin::sim::invalidTimerId)
+            q.cancelTimeout(pending);
+        pending = q.scheduleTimeout(t + 100000, [] {});
+        if ((i & 255) == 0)
+            q.runUntil(q.now() + 64);
+    }
+    if (pending != griffin::sim::invalidTimerId)
+        q.cancelTimeout(pending);
+    q.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.residentEntries(), 0u);
+}
+
 TEST(EventQueue, ManyEventsKeepTotalOrder)
 {
     EventQueue q;

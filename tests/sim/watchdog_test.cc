@@ -85,6 +85,24 @@ TEST(Watchdog, SyntheticLostWakeupIsDetected)
     EXPECT_THROW(wd.checkQuiesced(engine.now()), WatchdogError);
 }
 
+TEST(Watchdog, QuiesceCheckAfterDrainedRunUntilSeesTheLimit)
+{
+    // runUntil advances the clock to the limit even when the queue
+    // drains early; the quiesce check that follows a periodic window
+    // must therefore see the window's end time, and a clean drain
+    // must pass it.
+    Engine engine;
+    std::uint64_t outstanding = 1;
+    Watchdog wd;
+    wd.addProbe("component", "outstanding", [&] { return outstanding; });
+
+    engine.schedule(10, [&] { outstanding = 0; });
+    engine.runUntil(1000);
+    EXPECT_EQ(engine.now(), 1000u);
+    EXPECT_TRUE(engine.queue().empty());
+    EXPECT_NO_THROW(wd.checkQuiesced(engine.now()));
+}
+
 TEST(Watchdog, EngineOverrunIncludesProbeSnapshot)
 {
     // The livelock shape: events keep breeding past maxTicks. The
