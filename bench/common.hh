@@ -154,8 +154,22 @@ struct Options
         Options opt;
         std::string chaos_spec;
         std::optional<std::uint64_t> chaos_seed;
+        std::vector<std::string> seen;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
+            // Every flag is single-shot except --workload, which
+            // accumulates a restriction list. A duplicate almost
+            // always means a sweep script silently overriding its own
+            // earlier value, so it is an error rather than
+            // last-one-wins.
+            const std::string key = arg.substr(0, arg.find('='));
+            if (key != "--workload" &&
+                std::find(seen.begin(), seen.end(), key) != seen.end()) {
+                std::cerr << "error: duplicate flag " << key
+                          << " (only --workload may repeat)\n";
+                std::exit(2);
+            }
+            seen.push_back(key);
             if (arg.rfind("--scale=", 0) == 0) {
                 // 0 would divide every footprint by zero downstream.
                 opt.scaleDiv = unsigned(

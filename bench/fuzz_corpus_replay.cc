@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Replay the pinned fuzz corpus (sys/scenario_gen.hh) under the full
+ * oracle battery and print a per-seed result table — the bench-shaped
+ * view of what tests/integration/fuzz_corpus_test.cc asserts, for CI
+ * logs and for eyeballing how the corpus exercises the knob space.
+ *
+ *   fuzz_corpus_replay [--jobs=N] [--csv]
+ *
+ * Exit status: 0 every seed clean, 1 otherwise (with a one-line repro
+ * command per failure, same as griffin-fuzz).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "src/sys/oracle.hh"
+#include "src/sys/scenario_gen.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace griffin;
+
+    const bench::Options opt = bench::Options::parse(
+        argc, argv,
+        "replays the pinned fuzz corpus; only --jobs and --csv apply "
+        "(scenarios carry their own scale/seed/chaos/telemetry)");
+
+    std::vector<sys::Scenario> scenarios;
+    for (const std::uint64_t seed : sys::fuzzCorpusSeeds())
+        scenarios.push_back(sys::makeScenario(seed));
+
+    sys::FuzzOptions fuzz;
+    if (opt.jobs > 0)
+        fuzz.jobs = opt.jobs;
+    const auto verdicts = sys::runFuzzBatch(scenarios, fuzz);
+
+    sys::Table table({"seed", "workload", "policy", "gpus", "chaos",
+                      "cycles", "migrations", "local%", "verdict"});
+    unsigned failed = 0;
+    for (const auto &v : verdicts) {
+        const auto &s = v.scenario;
+        const auto &r = v.result;
+        if (!v.ok())
+            ++failed;
+        char seedbuf[24];
+        std::snprintf(seedbuf, sizeof(seedbuf), "0x%llx",
+                      static_cast<unsigned long long>(s.seed));
+        table.addRow(
+            {seedbuf, s.workload,
+             s.config.policy == sys::PolicyKind::Griffin ? "griffin"
+                                                         : "first-touch",
+             std::to_string(s.config.numGpus),
+             s.config.chaos.enabled() ? "on" : "off",
+             v.ran ? std::to_string(r.cycles) : "-",
+             v.ran ? sys::Table::num(
+                         r.stats.get("pageTable.migrations"), 0)
+                   : "-",
+             v.ran ? sys::Table::num(r.localFraction() * 100.0, 1) : "-",
+             v.ok() ? "clean"
+                    : v.findings.empty() ? "did not run"
+                                         : v.findings[0].oracle});
+    }
+    bench::emit(table, opt);
+
+    for (const auto &v : verdicts) {
+        if (v.ok())
+            continue;
+        for (const auto &f : v.findings)
+            std::printf("FAIL seed=0x%llx oracle=%s\n     %s\n",
+                        static_cast<unsigned long long>(v.scenario.seed),
+                        f.oracle.c_str(), f.detail.c_str());
+        std::printf("repro: %s\n", v.scenario.reproCommand().c_str());
+    }
+    std::printf("corpus: %zu seeds, %u failed\n", verdicts.size(),
+                failed);
+    return failed == 0 ? 0 : 1;
+}

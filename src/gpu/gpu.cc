@@ -163,8 +163,13 @@ Gpu::cuAccess(unsigned cu_id, Addr vaddr, bool is_write, sim::EventFn done)
                                [this, r = std::move(r)]
                                (xlat::XlatReply reply) mutable {
                     // Remote translations are never cached in the GPU
-                    // TLBs (paper SS II-B).
-                    if (reply.cacheable) {
+                    // TLBs (paper SS II-B). A cacheable reply is also
+                    // fenced against migration: if the page went into
+                    // migration while the reply crossed the fabric,
+                    // the shootdown already ran and filling now would
+                    // plant a stale entry nothing will invalidate.
+                    if (reply.cacheable &&
+                        !_iommu.pageMigrating(r->page)) {
                         _l1Tlbs[r->cuId].fill(r->page, reply.location);
                         _l2Tlb.fill(r->page, reply.location);
                     }

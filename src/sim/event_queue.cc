@@ -14,6 +14,16 @@ namespace griffin::sim {
 EventQueue::~EventQueue() = default;
 
 void
+EventQueue::enableReferenceMode()
+{
+    // The modes share clocks, counters, and timer slots but not entry
+    // storage, so switching is only sound while nothing is resident.
+    assert(_size == 0 && _deadEntries == 0 && _executed == 0 &&
+           "reference mode must be enabled on a fresh queue");
+    _refMode = true;
+}
+
+void
 EventQueue::scheduleAt(Tick when, EventFn fn)
 {
     if (when < _now) {
@@ -107,6 +117,10 @@ EventQueue::insert(Entry &&e)
         resetWindow();
     }
     ++_size;
+    if (_refMode) {
+        _ref.push(std::move(e));
+        return;
+    }
     if (e.when == _now) {
         _ring.push_back(std::move(e));
         return;
@@ -220,6 +234,8 @@ EventQueue::nextTime() const
 {
     if (_size == 0)
         return maxTick;
+    if (_refMode)
+        return _ref.top().when;
     // settle() keeps the front of the pop order live after every
     // mutation, so each tier's front reports an exact time. (An entry
     // behind a ring/bucket front may be a tombstone, but it shares its
@@ -240,6 +256,13 @@ EventQueue::settle()
 {
     if (_size == 0)
         return;
+    if (_refMode) {
+        while (!_ref.empty() && !alive(_ref.top())) {
+            _ref.pop();
+            --_deadEntries;
+        }
+        return;
+    }
     for (;;) {
         if (_ringHead < _ring.size()) {
             if (alive(_ring[_ringHead]))
@@ -286,6 +309,11 @@ void
 EventQueue::resetWindow()
 {
     assert(_size == 0);
+    if (_refMode) {
+        _ref.clear();
+        _deadEntries = 0;
+        return;
+    }
     if (_deadEntries > 0 || _ringHead < _ring.size()) {
         _ring.clear();
         _ringHead = 0;
@@ -311,6 +339,12 @@ void
 EventQueue::compact()
 {
     const auto isDead = [this](const Entry &e) { return !alive(e); };
+
+    if (_refMode) {
+        _ref.removeIf(isDead);
+        _deadEntries = 0;
+        return;
+    }
 
     // Ring: order-preserving filter of the un-consumed suffix.
     if (_ringHead < _ring.size()) {
@@ -356,6 +390,8 @@ EventQueue::compact()
 std::size_t
 EventQueue::residentEntries() const
 {
+    if (_refMode)
+        return _ref.size();
     std::size_t total = (_ring.size() - _ringHead) + _spill.size();
     for (std::size_t w = 0; w < bitmapWords; ++w) {
         std::uint64_t word = _bits[w];
@@ -377,36 +413,48 @@ EventQueue::runOne()
         return false;
 
     Entry entry;
-    for (;;) {
-        if (_ringHead < _ring.size()) {
-            entry = std::move(_ring[_ringHead]);
-            ++_ringHead;
-            if (_ringHead == _ring.size()) {
-                _ring.clear();
-                _ringHead = 0;
-            } else if (_ringHead >= 64 && _ringHead * 2 >= _ring.size()) {
-                // A long same-tick cascade appends while it pops; drop
-                // the consumed prefix so the ring's footprint tracks
-                // the live tail, not the cascade length.
-                compactRing();
+    if (_refMode) {
+        // The reference heap pops in global (when, seq) order; skip
+        // any tombstone that reached the front between settles.
+        for (;;) {
+            entry = _ref.pop();
+            if (alive(entry))
+                break;
+            --_deadEntries;
+        }
+    } else {
+        for (;;) {
+            if (_ringHead < _ring.size()) {
+                entry = std::move(_ring[_ringHead]);
+                ++_ringHead;
+                if (_ringHead == _ring.size()) {
+                    _ring.clear();
+                    _ringHead = 0;
+                } else if (_ringHead >= 64 &&
+                           _ringHead * 2 >= _ring.size()) {
+                    // A long same-tick cascade appends while it pops;
+                    // drop the consumed prefix so the ring's footprint
+                    // tracks the live tail, not the cascade length.
+                    compactRing();
+                }
+                if (!alive(entry)) {
+                    --_deadEntries;
+                    continue;
+                }
+                break;
             }
-            if (!alive(entry)) {
-                --_deadEntries;
+            const int b = nextBucketIndex();
+            if (b >= 0) {
+                migrateBucket(static_cast<std::size_t>(b));
                 continue;
             }
-            break;
+            if (!_spill.empty()) {
+                slideWindow();
+                continue;
+            }
+            assert(false && "size() > 0 but no live entry found");
+            return false;
         }
-        const int b = nextBucketIndex();
-        if (b >= 0) {
-            migrateBucket(static_cast<std::size_t>(b));
-            continue;
-        }
-        if (!_spill.empty()) {
-            slideWindow();
-            continue;
-        }
-        assert(false && "size() > 0 but no live entry found");
-        return false;
     }
 
     assert(entry.when >= _now);

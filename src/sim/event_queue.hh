@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/sim/inline_fn.hh"
+#include "src/sim/ref_queue.hh"
 #include "src/sim/types.hh"
 
 namespace griffin::sim {
@@ -165,6 +166,22 @@ class EventQueue
 
     /** @} */
 
+    /** @name Reference scheduler (differential testing) @{ */
+
+    /**
+     * Replace the three-tier structure with the naive (when, seq)
+     * binary heap from ref_queue.hh. Test-only: the reference mode
+     * exists so fuzz harnesses can demand byte-identical results from
+     * the tiered queue and a trivially-correct one. Must be called on
+     * a fresh queue, before anything is scheduled or executed.
+     */
+    void enableReferenceMode();
+
+    /** True when running on the reference heap. */
+    bool referenceMode() const { return _refMode; }
+
+    /** @} */
+
   private:
     /** Number of per-tick ladder buckets; must be a power of two. */
     static constexpr std::size_t ladderBuckets = 1024;
@@ -227,6 +244,10 @@ class EventQueue
 
     /** Tier 3: min-heap of events at or beyond _windowEnd. */
     std::vector<Entry> _spill;
+
+    /** Reference mode: one naive heap replaces all three tiers. */
+    bool _refMode = false;
+    RefQueue<Entry, Later> _ref;
 
     Tick _now = 0;
     /** Starts at 1 so seq 0 can mean "unset" in debugging dumps. */

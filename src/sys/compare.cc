@@ -277,6 +277,15 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
                 check.ok = false;
                 check.note = std::string("metric missing from the ") +
                              (!rv ? "reference" : "current") + " report";
+            } else if (!std::isfinite(*rv) || !std::isfinite(*cv)) {
+                // NaN/inf poisons every comparison below (a NaN delta
+                // fails all <= checks with no explanation), so name
+                // the culprit instead of producing a nan verdict.
+                check.ok = false;
+                check.note = std::string("non-finite value in the ") +
+                             (!std::isfinite(*rv) ? "reference"
+                                                  : "current") +
+                             " report";
             } else {
                 check.ref = *rv;
                 check.cur = *cv;
@@ -324,6 +333,11 @@ compareReports(const obs::json::Value &ref, const obs::json::Value &cur,
         for (const auto &[path, rv] : ref_leaves) {
             auto it = cur_map.find(path);
             if (it == cur_map.end())
+                continue;
+            // Non-finite leaves are excluded: a NaN delta in the sort
+            // comparator below would break strict weak ordering (UB),
+            // and the thresholds report non-finite values explicitly.
+            if (!std::isfinite(rv) || !std::isfinite(it->second))
                 continue;
             const double delta = deltaPercent(rv, it->second);
             if (std::fabs(delta) < 1e-9)

@@ -29,6 +29,9 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig &config)
 {
     assert(config.numGpus >= 1);
 
+    if (config.useReferenceQueue)
+        _engine.queue().enableReferenceMode();
+
     // The fault injector comes first so every component can be wired
     // to it as it is built. A disabled chaos config builds no
     // injector and the whole layer stays inert.

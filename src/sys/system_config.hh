@@ -101,6 +101,14 @@ struct SystemConfig
 
     std::uint64_t seed = 42;
 
+    /**
+     * Run the engine on the naive reference scheduler (ref_queue.hh)
+     * instead of the tiered event queue. Test-only: differential
+     * oracles flip this and demand byte-identical reports, so it is
+     * deliberately excluded from configJson().
+     */
+    bool useReferenceQueue = false;
+
     /** Total devices including the CPU. */
     unsigned numDevices() const { return numGpus + 1; }
 

@@ -116,6 +116,22 @@ class Iommu
     void invalidateIotlb(PageId page) { _iotlb.invalidatePage(page); }
 
     /**
+     * True from the moment @p page is selected for migration until
+     * the transfer commits (migrationPending covers selection to
+     * shootdown, migrating covers shootdown to commit). GPUs consult
+     * this before caching a translation reply: a reply that was in
+     * flight when the migration's TLB purge ran would otherwise
+     * re-fill the TLB with the old location after the purge — the
+     * reply fence real shootdown protocols require.
+     */
+    bool
+    pageMigrating(PageId page) const
+    {
+        const mem::PageInfo &pi = _pageTable.info(page);
+        return pi.migrating || pi.migrationPending;
+    }
+
+    /**
      * Cache a CPU-resident translation in the IOTLB. Normally the
      * IOMMU refuses to do this so the policy observes every touch of
      * a CPU page; DFTM uses it during a denial lease so the first

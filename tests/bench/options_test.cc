@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+
+namespace {
+
+using griffin::bench::Options;
+
+/** Run Options::parse over a flag list (argv[0] is synthesized). */
+Options
+parseFlags(std::vector<std::string> flags)
+{
+    std::vector<char *> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (std::string &f : flags)
+        argv.push_back(f.data());
+    return Options::parse(int(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesTheCommonFlags)
+{
+    const Options opt =
+        parseFlags({"--scale=64", "--seed=7", "--jobs=2", "--csv"});
+    EXPECT_EQ(opt.scaleDiv, 64u);
+    EXPECT_EQ(opt.seed, 7u);
+    EXPECT_EQ(opt.jobs, 2u);
+    EXPECT_TRUE(opt.csv);
+}
+
+TEST(OptionsDeathTest, DuplicateValueFlagExitsWithUsageError)
+{
+    EXPECT_EXIT(parseFlags({"--scale=64", "--scale=32"}),
+                ::testing::ExitedWithCode(2), "duplicate flag --scale");
+}
+
+TEST(OptionsDeathTest, DuplicateBooleanFlagExitsWithUsageError)
+{
+    EXPECT_EXIT(parseFlags({"--csv", "--csv"}),
+                ::testing::ExitedWithCode(2), "duplicate flag --csv");
+}
+
+TEST(OptionsDeathTest, ValueAndValuelessFormsAreTheSameFlag)
+{
+    // --host-prof and --host-prof=FILE configure one feature; letting
+    // the pair through would leave whichever came last half-applied.
+    EXPECT_EXIT(parseFlags({"--host-prof", "--host-prof=out.folded"}),
+                ::testing::ExitedWithCode(2),
+                "duplicate flag --host-prof");
+}
+
+TEST(Options, WorkloadStaysRepeatable)
+{
+    const Options opt = parseFlags({"--workload=MT", "--workload=BFS"});
+    ASSERT_EQ(opt.workloads.size(), 2u);
+    EXPECT_EQ(opt.workloads[0], "MT");
+    EXPECT_EQ(opt.workloads[1], "BFS");
+}
+
+TEST(Options, DistinctFlagsWithEqualValuesAreFine)
+{
+    const Options opt = parseFlags({"--seed=5", "--sample=5"});
+    EXPECT_EQ(opt.seed, 5u);
+    EXPECT_EQ(opt.samplePeriod, 5u);
+}
+
+TEST(OptionsDeathTest, NonNumericValueExitsWithUsageError)
+{
+    EXPECT_EXIT(parseFlags({"--scale=banana"}),
+                ::testing::ExitedWithCode(2), "--scale wants an integer");
+}
+
+TEST(OptionsDeathTest, OutOfRangeValueExitsWithUsageError)
+{
+    // scale=0 would divide every workload footprint by zero.
+    EXPECT_EXIT(parseFlags({"--scale=0"}),
+                ::testing::ExitedWithCode(2), "--scale wants an integer");
+}
+
+} // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.hh"
@@ -361,6 +363,154 @@ TEST(EventQueueStress, InterleavedEventsAndCancelsStayOrdered)
     q.run();
     EXPECT_TRUE(monotonic);
     EXPECT_EQ(q.residentEntries(), 0u);
+}
+
+// --- Window-boundary properties ------------------------------------
+// The ladder covers a sliding 1024-tick window; events beyond it land
+// in the spill heap and redistribute into the ladder when the window
+// slides. Nothing about that seam may be observable: FIFO within a
+// tick, global time order, and nextTime() exactness all hold on both
+// sides of the boundary and across a slide.
+
+TEST(EventQueueWindow, FifoHoldsAcrossTheLadderSpillBoundary)
+{
+    // Ticks 1022/1023 sit in the last ladder buckets, 1024/1025 spill.
+    // Interleave schedules across the seam: execution must follow
+    // (when, schedule order) exactly, as if the tiers did not exist.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> expected;
+    int arrival = 0;
+    for (int round = 0; round < 8; ++round) {
+        for (Tick t : {Tick(1022), Tick(1023), Tick(1024), Tick(1025)}) {
+            const int id = arrival++;
+            q.scheduleAt(t, [&fired, t, id] { fired.push_back({t, id}); });
+            expected.push_back({t, id});
+        }
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    q.run();
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueueWindow, SpillRedistributionPreservesFifoWithinTick)
+{
+    // All 64 events share one far-future tick, so every one takes the
+    // spill -> slide -> ladder -> ring path; schedule order survives it.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        q.schedule(5000, [&order, i] { order.push_back(i); });
+    q.run();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueWindow, LateArrivalsAtARedistributedTickStayFifo)
+{
+    // The first four events at tick 5000 spill; at tick 4000 the
+    // window has slid so 5000 is a ladder bucket, and four more events
+    // append there directly. Global schedule order must still win.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(5000, [&order, i] { order.push_back(i); });
+    q.schedule(4000, [&] {
+        for (int i = 4; i < 8; ++i)
+            q.schedule(1000, [&order, i] { order.push_back(i); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueWindow, NextTimeIsExactAfterCancelsAroundTheBoundary)
+{
+    // One timeout on each side of the seam plus a far event: as
+    // timeouts cancel, nextTime() must step to the earliest *live*
+    // entry with no tombstone — in the ladder or the spill top —
+    // shining through.
+    EventQueue q;
+    const auto inLadder = q.scheduleTimeout(1023, [] {});
+    const auto inSpill = q.scheduleTimeout(1024, [] {});
+    q.schedule(1500, [] {});
+    EXPECT_EQ(q.nextTime(), 1023u);
+
+    EXPECT_TRUE(q.cancelTimeout(inLadder));
+    EXPECT_EQ(q.nextTime(), 1024u);
+    EXPECT_EQ(q.size(), 2u);
+
+    EXPECT_TRUE(q.cancelTimeout(inSpill));
+    EXPECT_EQ(q.nextTime(), 1500u);
+    EXPECT_EQ(q.size(), 1u);
+
+    EXPECT_TRUE(q.runOne());
+    EXPECT_EQ(q.now(), 1500u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), griffin::maxTick);
+}
+
+TEST(EventQueueWindow, CancelledSpillTopDoesNotBlockTheSlide)
+{
+    // The spill's earliest entry is a cancelled timeout: the window
+    // must slide to the first live event, not anchor on (or fire at)
+    // the tombstone's deadline.
+    EventQueue q;
+    const auto dead = q.scheduleTimeout(2000, [] {});
+    Tick firedAt = 0;
+    q.schedule(3000, [&] { firedAt = q.now(); });
+    EXPECT_TRUE(q.cancelTimeout(dead));
+    EXPECT_EQ(q.run(), 3000u);
+    EXPECT_EQ(firedAt, 3000u);
+}
+
+TEST(EventQueueWindow, TieredAndReferenceSchedulersAgreeOnOrder)
+{
+    // One randomized script — bursty delays straddling the window,
+    // timer arms, cancels, partial drains — must fire callbacks in the
+    // identical order on the tiered queue and on the naive reference
+    // heap (the differential the fuzz oracles rely on).
+    const auto script = [](EventQueue &q, std::vector<int> &order) {
+        std::uint32_t rng = 2024;
+        std::vector<griffin::sim::TimerId> timers;
+        int id = 0;
+        for (int i = 0; i < 3000; ++i) {
+            rng = rng * 1664525u + 1013904223u;
+            const Tick delay = (rng >> 20) & 4095; // straddles 1024
+            if ((rng & 3) == 0) {
+                timers.push_back(q.scheduleTimeout(
+                    delay + 1, [&order, id] { order.push_back(id); }));
+            } else {
+                q.schedule(delay, [&order, id] { order.push_back(id); });
+            }
+            ++id;
+            if ((rng & 15) == 1 && !timers.empty()) {
+                q.cancelTimeout(timers.back());
+                timers.pop_back();
+            }
+            if ((i & 127) == 0)
+                q.runUntil(q.now() + 256);
+        }
+        q.run();
+    };
+
+    EventQueue tiered;
+    std::vector<int> tieredOrder;
+    script(tiered, tieredOrder);
+
+    EventQueue reference;
+    reference.enableReferenceMode();
+    ASSERT_TRUE(reference.referenceMode());
+    std::vector<int> referenceOrder;
+    script(reference, referenceOrder);
+
+    EXPECT_FALSE(tieredOrder.empty());
+    EXPECT_EQ(tieredOrder, referenceOrder);
+    EXPECT_EQ(tiered.eventsExecuted(), reference.eventsExecuted());
+    EXPECT_EQ(tiered.now(), reference.now());
 }
 
 TEST(EventQueue, ManyEventsKeepTotalOrder)

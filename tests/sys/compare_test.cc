@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "src/obs/json.hh"
@@ -300,6 +302,96 @@ TEST(CompareReports, KnownSchemaVersionsProduceNoWarning)
         EXPECT_TRUE(res.pass);
         EXPECT_TRUE(res.warnings.empty()) << "version " << v;
     }
+}
+
+TEST(CompareReports, DocumentWithoutRunsSectionFails)
+{
+    // A document that is not a report at all (no "runs" array, no
+    // bare-run "label") must fail with a parse error, not compare
+    // zero runs and report a clean pass.
+    Value bogus = Value::object();
+    bogus["results"] = Value::array(); // wrong section name
+    const auto res =
+        compareReports(bogus, makeReport(1000.0, 5000.0),
+                       {*parseThreshold("cycles:+5%")});
+    EXPECT_FALSE(res.pass);
+    ASSERT_FALSE(res.errors.empty());
+    EXPECT_NE(res.errors[0].find("runs"), std::string::npos);
+}
+
+TEST(CompareReports, RunWithoutLabelIsReported)
+{
+    Value run = Value::object();
+    Value result = Value::object();
+    result["cycles"] = 5000.0;
+    run["result"] = std::move(result); // no "label"
+    Value runs = Value::array();
+    runs.push(std::move(run));
+    Value doc = Value::object();
+    doc["runs"] = std::move(runs);
+
+    const auto res = compareReports(doc, makeReport(1000.0, 5000.0), {});
+    EXPECT_FALSE(res.pass);
+    bool mentioned = false;
+    for (const auto &e : res.errors)
+        mentioned = mentioned || e.find("no label") != std::string::npos;
+    EXPECT_TRUE(mentioned);
+}
+
+TEST(CompareReports, NanMetricFailsWithAnExplicitNote)
+{
+    // A NaN comparison result is false for every <=, so without
+    // special handling the check would fail with deltaPct=nan and no
+    // explanation; the verdict must name the non-finite input instead.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const Value ref = makeReport(1000.0, 5000.0);
+    const Value cur = makeReport(1000.0, nan);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_FALSE(res.pass);
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_FALSE(res.checks[0].ok);
+    EXPECT_NE(res.checks[0].note.find("non-finite"), std::string::npos);
+    EXPECT_NE(res.checks[0].note.find("current"), std::string::npos);
+}
+
+TEST(CompareReports, NanInTheReferenceIsAlsoNamed)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const Value ref = makeReport(1000.0, nan);
+    const Value cur = makeReport(1000.0, 5000.0);
+    const auto res =
+        compareReports(ref, cur, {*parseThreshold("cycles:+5%")});
+    EXPECT_FALSE(res.pass);
+    ASSERT_EQ(res.checks.size(), 1u);
+    EXPECT_NE(res.checks[0].note.find("reference"), std::string::npos);
+}
+
+TEST(CompareReports, NonFiniteLeavesStayOutOfDrift)
+{
+    // The drift table sorts by |deltaPct|; a NaN delta would break the
+    // comparator's strict weak ordering (undefined behavior), so
+    // non-finite leaves are excluded from drift entirely — the
+    // threshold path above is where they get reported.
+    const double inf = std::numeric_limits<double>::infinity();
+    const Value ref = makeReport(1000.0, 5000.0, 100.0);
+    const Value cur = makeReport(
+        1100.0, std::numeric_limits<double>::quiet_NaN(), inf);
+    const auto res = compareReports(ref, cur, {});
+    EXPECT_TRUE(res.pass); // no thresholds, labels match
+    for (const auto &d : res.drifts) {
+        EXPECT_EQ(d.path.find("result.cycles"), std::string::npos)
+            << "NaN leaf leaked into drift";
+        EXPECT_EQ(d.path.find("iommu.walks"), std::string::npos)
+            << "inf leaf leaked into drift";
+        EXPECT_TRUE(std::isfinite(d.deltaPct)) << d.path;
+    }
+    // The finite fault-latency drift still shows up.
+    bool sawFaultDrift = false;
+    for (const auto &d : res.drifts)
+        sawFaultDrift =
+            sawFaultDrift || d.path.find("faultLatency") != std::string::npos;
+    EXPECT_TRUE(sawFaultDrift);
 }
 
 TEST(CompareReports, VerdictJsonShape)

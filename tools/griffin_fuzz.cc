@@ -1,0 +1,290 @@
+/**
+ * @file
+ * griffin-fuzz: randomized differential testing for the simulator.
+ *
+ *   griffin-fuzz [--seeds=N] [--seed=S] [--jobs=N] [--batch=K]
+ *                [--duration=SECS] [--shrink] [--pin=KNOB[,KNOB...]]
+ *                [--corpus] [--list-knobs] [--describe] [--quiet]
+ *
+ * Draws one scenario per seed (sys/scenario_gen.hh), runs each under
+ * every invariant oracle plus the --jobs=1 vs --jobs=N vs
+ * reference-scheduler differentials (sys/oracle.hh), and prints a
+ * one-line repro command for every failure. Seeds run in batches of
+ * --batch so the parallel differential actually exercises concurrent
+ * sweeps.
+ *
+ *  --seeds=N      seeds to run (default 16), starting at --seed
+ *  --seed=S       first seed (default 1; 0x-prefixed hex accepted)
+ *  --jobs=N       worker threads for the parallel differential
+ *  --duration=S   keep fuzzing fresh seeds until S wall seconds pass
+ *                 (overrides --seeds as the stop condition)
+ *  --shrink       after a failure, pin knobs to defaults one at a
+ *                 time and keep each pin that preserves the failure;
+ *                 prints the minimized repro
+ *  --pin=A,B      pin the named knobs to defaults up front (replay of
+ *                 a shrunk repro)
+ *  --corpus       run the 16 pinned corpus seeds instead of a range
+ *  --describe     print each scenario without running it
+ *  --list-knobs   print the shrinkable knob names
+ *
+ * Exit status: 0 all scenarios clean, 1 at least one oracle finding,
+ * 2 usage error.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/sys/oracle.hh"
+#include "src/sys/scenario_gen.hh"
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: griffin-fuzz [--seeds=N] [--seed=S] [--jobs=N]"
+           " [--batch=K] [--duration=SECS]\n"
+           "                    [--shrink] [--pin=KNOB[,KNOB...]]"
+           " [--corpus] [--describe]\n"
+           "                    [--list-knobs] [--quiet]\n"
+           "  e.g. griffin-fuzz --seeds=200 --jobs=8\n"
+           "       griffin-fuzz --seed=0x2a --seeds=1 --shrink\n";
+}
+
+std::uint64_t
+parseNum(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0') {
+        std::cerr << "griffin-fuzz: bad value for " << flag << ": \""
+                  << text << "\"\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t from = 0;
+    while (from <= text.size()) {
+        const std::size_t comma = text.find(',', from);
+        const std::size_t to =
+            comma == std::string::npos ? text.size() : comma;
+        if (to > from)
+            out.push_back(text.substr(from, to - from));
+        if (comma == std::string::npos)
+            break;
+        from = comma + 1;
+    }
+    return out;
+}
+
+void
+printFailure(const griffin::sys::ScenarioVerdict &verdict)
+{
+    for (const auto &f : verdict.findings) {
+        std::printf("FAIL seed=0x%llx oracle=%s\n",
+                    static_cast<unsigned long long>(
+                        verdict.scenario.seed),
+                    f.oracle.c_str());
+        std::printf("     %s\n", f.detail.c_str());
+    }
+    std::printf("     scenario: %s\n",
+                verdict.scenario.describe().c_str());
+    std::printf("repro: %s\n", verdict.scenario.reproCommand().c_str());
+}
+
+/** True when the scenario built from (seed, pinned) still fails. */
+bool
+stillFails(std::uint64_t seed, const std::vector<std::string> &pinned,
+           const griffin::sys::FuzzOptions &options)
+{
+    const auto verdicts = griffin::sys::runFuzzBatch(
+        {griffin::sys::makeScenario(seed, pinned)}, options);
+    return !verdicts[0].ok();
+}
+
+/**
+ * Shrink a failing seed: walk the knob list, pin each knob in turn,
+ * and keep the pin when the failure survives without it varying. The
+ * knobs left unpinned at the end are the minimal trigger set.
+ */
+void
+shrinkSeed(std::uint64_t seed, std::vector<std::string> pinned,
+           const griffin::sys::FuzzOptions &options)
+{
+    std::printf("shrinking seed 0x%llx...\n",
+                static_cast<unsigned long long>(seed));
+    for (const std::string &knob : griffin::sys::scenarioKnobs()) {
+        if (std::find(pinned.begin(), pinned.end(), knob) !=
+            pinned.end())
+            continue;
+        std::vector<std::string> trial = pinned;
+        trial.push_back(knob);
+        if (stillFails(seed, trial, options)) {
+            pinned = std::move(trial);
+            std::printf("  pin %-10s -> still fails\n", knob.c_str());
+        } else {
+            std::printf("  pin %-10s -> failure depends on it\n",
+                        knob.c_str());
+        }
+    }
+    const auto scenario = griffin::sys::makeScenario(seed, pinned);
+    std::printf("shrunk: %s\n", scenario.reproCommand().c_str());
+    std::printf("        %s\n", scenario.describe().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace griffin;
+
+    std::uint64_t seeds = 16;
+    std::uint64_t firstSeed = 1;
+    std::uint64_t batch = 16;
+    std::uint64_t durationSecs = 0;
+    bool shrink = false;
+    bool corpus = false;
+    bool describeOnly = false;
+    bool quiet = false;
+    std::vector<std::string> pinned;
+    sys::FuzzOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&arg](const char *prefix) {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg.rfind("--seeds=", 0) == 0) {
+            seeds = parseNum("--seeds", value("--seeds="));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            firstSeed = parseNum("--seed", value("--seed="));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs =
+                unsigned(parseNum("--jobs", value("--jobs=")));
+        } else if (arg.rfind("--batch=", 0) == 0) {
+            batch = parseNum("--batch", value("--batch="));
+            if (batch == 0) {
+                std::cerr << "griffin-fuzz: --batch must be > 0\n";
+                return 2;
+            }
+        } else if (arg.rfind("--duration=", 0) == 0) {
+            durationSecs =
+                parseNum("--duration", value("--duration="));
+        } else if (arg.rfind("--pin=", 0) == 0) {
+            for (const std::string &knob :
+                 splitList(value("--pin="))) {
+                if (!sys::isScenarioKnob(knob)) {
+                    std::cerr << "griffin-fuzz: unknown knob \""
+                              << knob << "\" (see --list-knobs)\n";
+                    return 2;
+                }
+                pinned.push_back(knob);
+            }
+        } else if (arg == "--shrink") {
+            shrink = true;
+        } else if (arg == "--corpus") {
+            corpus = true;
+        } else if (arg == "--describe") {
+            describeOnly = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--list-knobs") {
+            for (const std::string &knob : sys::scenarioKnobs())
+                std::cout << knob << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "griffin-fuzz: unknown flag " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    // Assemble the seed schedule. --duration keeps drawing fresh
+    // seeds past the schedule until the wall budget runs out.
+    std::vector<std::uint64_t> schedule;
+    if (corpus) {
+        schedule = sys::fuzzCorpusSeeds();
+    } else {
+        for (std::uint64_t s = 0; s < seeds; ++s)
+            schedule.push_back(firstSeed + s);
+    }
+
+    if (describeOnly) {
+        for (const std::uint64_t seed : schedule) {
+            const auto sc = sys::makeScenario(seed, pinned);
+            std::printf("seed=0x%llx %s\n",
+                        static_cast<unsigned long long>(seed),
+                        sc.describe().c_str());
+        }
+        return 0;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto expired = [&] {
+        if (durationSecs == 0)
+            return false;
+        return std::chrono::steady_clock::now() - start >=
+               std::chrono::seconds(durationSecs);
+    };
+
+    std::uint64_t ran = 0;
+    std::uint64_t failed = 0;
+    std::vector<std::uint64_t> failingSeeds;
+    std::size_t cursor = 0;
+    std::uint64_t nextFresh = firstSeed + seeds;
+
+    while (cursor < schedule.size() || (durationSecs > 0 && !expired())) {
+        std::vector<sys::Scenario> scenarios;
+        while (scenarios.size() < batch) {
+            std::uint64_t seed;
+            if (cursor < schedule.size()) {
+                seed = schedule[cursor++];
+            } else if (durationSecs > 0) {
+                seed = nextFresh++;
+            } else {
+                break;
+            }
+            scenarios.push_back(sys::makeScenario(seed, pinned));
+        }
+        if (scenarios.empty())
+            break;
+
+        const auto verdicts = sys::runFuzzBatch(scenarios, options);
+        for (const auto &v : verdicts) {
+            ++ran;
+            if (v.ok())
+                continue;
+            ++failed;
+            failingSeeds.push_back(v.scenario.seed);
+            printFailure(v);
+        }
+        if (!quiet)
+            std::printf("fuzz: %llu scenarios, %llu failed\n",
+                        static_cast<unsigned long long>(ran),
+                        static_cast<unsigned long long>(failed));
+        if (durationSecs > 0 && expired() && cursor >= schedule.size())
+            break;
+    }
+
+    if (shrink)
+        for (const std::uint64_t seed : failingSeeds)
+            shrinkSeed(seed, pinned, options);
+
+    return failed == 0 ? 0 : 1;
+}
